@@ -1,0 +1,297 @@
+package logstore
+
+// Benchmark harness: one benchmark per evaluation figure of the paper
+// (regenerating its table at reduced scale per iteration), plus
+// end-to-end micro-benchmarks grounding the absolute single-process
+// numbers (ingest throughput, realtime and archived query latency).
+//
+// Full-size figure regeneration lives in cmd/logstore-bench; see
+// EXPERIMENTS.md for recorded outputs.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"logstore/internal/experiments"
+	"logstore/internal/workload"
+)
+
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		Tenants:          200,
+		Rows:             24_000,
+		QueryTenants:     5,
+		QueriesPerTenant: 6,
+		TotalRate:        1_000_000,
+		Workers:          4,
+		ShardsPerWorker:  3,
+		Seed:             1,
+	}
+}
+
+// BenchmarkFig1DailyThroughputCurve regenerates Figure 1.
+func BenchmarkFig1DailyThroughputCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.Fig1(); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig2TenantDataSize regenerates Figure 2.
+func BenchmarkFig2TenantDataSize(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.Fig2(s); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig11TenantRowCounts regenerates Figure 11.
+func BenchmarkFig11TenantRowCounts(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.Fig11(s); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig12TrafficControl regenerates Figure 12 (a, b, c):
+// throughput, latency, and route counts under none/greedy/max-flow.
+func BenchmarkFig12TrafficControl(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		a, bb, c := experiments.Fig12(s)
+		if len(a.Rows) == 0 || len(bb.Rows) == 0 || len(c.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig13AccessStddev regenerates Figure 13 (a, b).
+func BenchmarkFig13AccessStddev(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		x, y := experiments.Fig13(s)
+		if len(x.Rows) == 0 || len(y.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig14DetailedAccesses regenerates Figure 14 (a, b, c).
+func BenchmarkFig14DetailedAccesses(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		x, y, z := experiments.Fig14(s)
+		if len(x.Rows) == 0 || len(y.Rows) == 0 || len(z.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig15DataSkipping regenerates Figure 15 (live queries over
+// simulated OSS, with vs without the data-skipping strategy).
+func BenchmarkFig15DataSkipping(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig15(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig16ParallelPrefetch regenerates Figure 16 (local vs
+// OSS+prefetch vs OSS serial, plus warm-cache rerun).
+func BenchmarkFig16ParallelPrefetch(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig16(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig17OverallLatency regenerates Figure 17 (latency
+// distribution before vs after all optimizations).
+func BenchmarkFig17OverallLatency(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig17(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestThroughput measures end-to-end append throughput of an
+// embedded (unreplicated) cluster: rows/sec through broker routing,
+// shard row stores, and traffic accounting.
+func BenchmarkIngestThroughput(b *testing.B) {
+	c, err := Open(Config{
+		Workers:         2,
+		ShardsPerWorker: 2,
+		Replicas:        1,
+		ArchiveInterval: time.Hour, // keep the bench about the write path
+		MaxSegmentRows:  1 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	g := workload.NewGenerator(workload.GeneratorConfig{Tenants: 100, Theta: 0.99, Seed: 1})
+	const batch = 1000
+	rows := g.Batch(batch)
+	b.SetBytes(int64(batch))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Append(rows...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkIngestThroughputReplicated is the same write path with
+// 3-way Raft replication per shard (quorum-committed appends).
+func BenchmarkIngestThroughputReplicated(b *testing.B) {
+	c, err := Open(Config{
+		Workers:         1,
+		ShardsPerWorker: 1,
+		Replicas:        3,
+		ArchiveInterval: time.Hour,
+		MaxSegmentRows:  1 << 20,
+		RaftTick:        time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	g := workload.NewGenerator(workload.GeneratorConfig{Tenants: 10, Theta: 0, Seed: 1})
+	const batch = 1000
+	rows := g.Batch(batch)
+	b.SetBytes(int64(batch))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Append(rows...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkQueryRealtime measures point-in-time retrieval from the
+// write-optimized row store.
+func BenchmarkQueryRealtime(b *testing.B) {
+	c, err := Open(Config{
+		Workers: 2, ShardsPerWorker: 2, Replicas: 1,
+		ArchiveInterval: time.Hour, MaxSegmentRows: 1 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	g := workload.NewGenerator(workload.GeneratorConfig{Tenants: 20, Theta: 0.5, Seed: 1, StartMS: 1000})
+	if err := c.Append(g.Batch(20000)...); err != nil {
+		b.Fatal(err)
+	}
+	sql := "SELECT log FROM request_log WHERE tenant_id = 0 AND ts >= 1000 AND ts <= 50000 AND latency >= 100"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryArchived measures retrieval over archived LogBlocks
+// through the multi-level cache (warm after the first iteration).
+func BenchmarkQueryArchived(b *testing.B) {
+	c, err := Open(Config{
+		Workers: 2, ShardsPerWorker: 2, Replicas: 1,
+		ArchiveInterval: time.Hour, MaxSegmentRows: 1 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	g := workload.NewGenerator(workload.GeneratorConfig{Tenants: 20, Theta: 0.5, Seed: 1, StartMS: 1000})
+	if err := c.Append(g.Batch(20000)...); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	sql := "SELECT log FROM request_log WHERE tenant_id = 0 AND ts >= 1000 AND ts <= 50000 AND fail = 'true'"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyticsGroupBy measures the lightweight BI aggregation
+// path ("which IPs frequently accessed this API in the past day").
+func BenchmarkAnalyticsGroupBy(b *testing.B) {
+	c, err := Open(Config{
+		Workers: 2, ShardsPerWorker: 2, Replicas: 1,
+		ArchiveInterval: time.Hour, MaxSegmentRows: 1 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	g := workload.NewGenerator(workload.GeneratorConfig{Tenants: 5, Theta: 0, Seed: 1, StartMS: 1000})
+	if err := c.Append(g.Batch(20000)...); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	sql := fmt.Sprintf("SELECT ip, COUNT(*) FROM request_log WHERE tenant_id = 1 AND ts >= 0 AND ts <= %d GROUP BY ip ORDER BY count DESC LIMIT 10", int64(1)<<40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Query(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Groups) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+// BenchmarkAblationBlockSize regenerates the column-block-size ablation.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationBlockSize(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCodec regenerates the compression-codec ablation.
+func BenchmarkAblationCodec(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCodec(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationIndexes regenerates the full-column-indexing ablation.
+func BenchmarkAblationIndexes(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationIndexes(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Command logstore-bench regenerates the evaluation figures of the
+// LogStore paper (SIGMOD '21, §6). Each experiment prints one or more
+// TSV tables matching the series the paper plots.
+//
+// Usage:
+//
+//	logstore-bench -experiment all
+//	logstore-bench -experiment fig12 -tenants 1000 -workers 6
+//	logstore-bench -experiment fig15 -rows 200000 -query-tenants 50
+//	logstore-bench -experiment fig16 -paper-scale
+//
+// Experiments: fig1, fig2, fig11, fig12 (a+b+c), fig13 (a+b),
+// fig14 (a+b+c), fig15, fig16, fig17, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"logstore/internal/experiments"
+)
+
+func main() {
+	var (
+		which        = flag.String("experiment", "all", "which figure to regenerate (fig1..fig17, all)")
+		tenants      = flag.Int("tenants", 0, "tenant count (0 = default scale)")
+		rows         = flag.Int("rows", 0, "ingested rows for the query experiments")
+		queryTenants = flag.Int("query-tenants", 0, "how many top tenants to report per-tenant latency for")
+		workers      = flag.Int("workers", 0, "simulated worker count")
+		shards       = flag.Int("shards-per-worker", 0, "shards per worker")
+		totalRate    = flag.Float64("total-rate", 0, "aggregate demand (rows/s) for traffic experiments")
+		seed         = flag.Int64("seed", 0, "workload seed (0 = default)")
+		paperScale   = flag.Bool("paper-scale", false, "approximate the paper's full experiment sizes (slow)")
+	)
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	if *paperScale {
+		scale = experiments.PaperScale()
+	}
+	if *tenants > 0 {
+		scale.Tenants = *tenants
+	}
+	if *rows > 0 {
+		scale.Rows = *rows
+	}
+	if *queryTenants > 0 {
+		scale.QueryTenants = *queryTenants
+	}
+	if *workers > 0 {
+		scale.Workers = *workers
+	}
+	if *shards > 0 {
+		scale.ShardsPerWorker = *shards
+	}
+	if *totalRate > 0 {
+		scale.TotalRate = *totalRate
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	run := func(name string, fn func() ([]*experiments.Table, error)) {
+		start := time.Now()
+		tables, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Print(os.Stdout)
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	all := map[string]func() ([]*experiments.Table, error){
+		"fig1": func() ([]*experiments.Table, error) {
+			return []*experiments.Table{experiments.Fig1()}, nil
+		},
+		"fig2": func() ([]*experiments.Table, error) {
+			return []*experiments.Table{experiments.Fig2(scale)}, nil
+		},
+		"fig11": func() ([]*experiments.Table, error) {
+			return []*experiments.Table{experiments.Fig11(scale)}, nil
+		},
+		"fig12": func() ([]*experiments.Table, error) {
+			a, b, c := experiments.Fig12(scale)
+			return []*experiments.Table{a, b, c}, nil
+		},
+		"fig13": func() ([]*experiments.Table, error) {
+			a, b := experiments.Fig13(scale)
+			return []*experiments.Table{a, b}, nil
+		},
+		"fig14": func() ([]*experiments.Table, error) {
+			a, b, c := experiments.Fig14(scale)
+			return []*experiments.Table{a, b, c}, nil
+		},
+		"fig15": func() ([]*experiments.Table, error) {
+			t, err := experiments.Fig15(scale)
+			return []*experiments.Table{t}, err
+		},
+		"fig16": func() ([]*experiments.Table, error) {
+			t, err := experiments.Fig16(scale)
+			return []*experiments.Table{t}, err
+		},
+		"fig17": func() ([]*experiments.Table, error) {
+			t, err := experiments.Fig17(scale)
+			return []*experiments.Table{t}, err
+		},
+		"hetero": func() ([]*experiments.Table, error) {
+			return []*experiments.Table{experiments.FigHetero(scale)}, nil
+		},
+		"ablations": func() ([]*experiments.Table, error) {
+			a, err := experiments.AblationBlockSize(scale)
+			if err != nil {
+				return nil, err
+			}
+			b, err := experiments.AblationCodec(scale)
+			if err != nil {
+				return nil, err
+			}
+			c, err := experiments.AblationIndexes(scale)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{a, b, c}, nil
+		},
+	}
+
+	order := []string{"fig1", "fig2", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "hetero", "ablations"}
+	if *which == "all" {
+		for _, name := range order {
+			run(name, all[name])
+		}
+		return
+	}
+	fn, ok := all[*which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of %v or all\n", *which, order)
+		os.Exit(2)
+	}
+	run(*which, fn)
+}

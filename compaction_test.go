@@ -1,0 +1,53 @@
+package logstore
+
+import (
+	"testing"
+	"time"
+
+	"logstore/internal/workload"
+)
+
+func TestClusterCompaction(t *testing.T) {
+	cfg := fastConfig()
+	cfg.MaxSegmentRows = 100 // many tiny segments -> many tiny blocks
+	c := openCluster(t, cfg)
+	g := workload.NewGenerator(workload.GeneratorConfig{Tenants: 2, Theta: 0, Seed: 11, StartMS: 1000})
+	if err := c.Append(g.Batch(1000)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if left := c.WaitForArchive(5 * time.Second); left != 0 {
+		t.Fatal("not archived")
+	}
+	before := len(c.TenantBlocks(0)) + len(c.TenantBlocks(1))
+	if before < 4 {
+		t.Fatalf("setup produced only %d blocks", before)
+	}
+	countQuery := "SELECT COUNT(*) FROM request_log WHERE tenant_id = 0 AND ts >= 0 AND ts <= 99999999"
+	resBefore, err := c.Query(countQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := c.CompactNow(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged == 0 {
+		t.Fatal("nothing compacted")
+	}
+	after := len(c.TenantBlocks(0)) + len(c.TenantBlocks(1))
+	if after >= before {
+		t.Fatalf("blocks: %d -> %d", before, after)
+	}
+	// Queries see identical data through the compacted layout.
+	resAfter, err := c.Query(countQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resAfter.Count != resBefore.Count {
+		t.Fatalf("count changed by compaction: %d -> %d", resBefore.Count, resAfter.Count)
+	}
+}

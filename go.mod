@@ -1,0 +1,3 @@
+module logstore
+
+go 1.22

@@ -1,0 +1,190 @@
+// Package backpressure implements LogStore's Backpressure Flow Control
+// (BFC, paper §4.2): every buffer queue between pipeline stages is
+// bounded by both pending-request count and pending byte size — "for
+// each queue, we monitor both the number and size of pending requests,
+// because processing a small number of massive inputs can also cause
+// the system to overload". When either limit is exceeded the queue
+// rejects the write with ErrBackpressure, and the rejection propagates
+// upstream stage by stage until the client's append slows down,
+// bounding memory under extreme load.
+package backpressure
+
+import (
+	"errors"
+	"sync"
+
+	"logstore/internal/metrics"
+)
+
+// ErrBackpressure is returned when a queue is over one of its limits.
+// Callers are expected to surface it upstream (ultimately to the
+// client) rather than retry hot.
+var ErrBackpressure = errors.New("backpressure: queue limit exceeded")
+
+// ErrClosed is returned when pushing to or draining a closed queue.
+var ErrClosed = errors.New("backpressure: queue closed")
+
+// Queue is a bounded FIFO monitored by item count and byte size.
+// It is safe for concurrent producers and consumers.
+type Queue struct {
+	name     string
+	maxItems int
+	maxBytes int64
+
+	mu     sync.Mutex
+	nempty *sync.Cond
+	items  []queueItem
+	bytes  int64
+	closed bool
+
+	rejected metrics.Counter
+	pushed   metrics.Counter
+	popped   metrics.Counter
+}
+
+type queueItem struct {
+	value any
+	size  int64
+}
+
+// NewQueue returns a queue named for diagnostics, bounded to maxItems
+// entries and maxBytes total payload. Non-positive limits mean
+// "unlimited" on that axis (at least one axis should be bounded for BFC
+// to do anything).
+func NewQueue(name string, maxItems int, maxBytes int64) *Queue {
+	q := &Queue{name: name, maxItems: maxItems, maxBytes: maxBytes}
+	q.nempty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Name returns the queue's diagnostic name.
+func (q *Queue) Name() string { return q.name }
+
+// Push enqueues value accounting size bytes. It never blocks: when a
+// limit is hit it returns ErrBackpressure immediately, which is what
+// propagates the pressure upstream.
+func (q *Queue) Push(value any, size int64) error {
+	if size < 0 {
+		size = 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.maxItems > 0 && len(q.items) >= q.maxItems {
+		q.rejected.Inc()
+		return ErrBackpressure
+	}
+	if q.maxBytes > 0 && q.bytes+size > q.maxBytes {
+		q.rejected.Inc()
+		return ErrBackpressure
+	}
+	q.items = append(q.items, queueItem{value: value, size: size})
+	q.bytes += size
+	q.pushed.Inc()
+	q.nempty.Signal()
+	return nil
+}
+
+// Pop blocks until an item is available or the queue is closed and
+// drained. The boolean is false only in the closed-and-drained case.
+func (q *Queue) Pop() (any, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.nempty.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	q.bytes -= it.size
+	q.popped.Inc()
+	return it.value, true
+}
+
+// TryPop returns immediately: (nil, false) when empty.
+func (q *Queue) TryPop() (any, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	q.bytes -= it.size
+	q.popped.Inc()
+	return it.value, true
+}
+
+// Close marks the queue closed; pending items remain poppable, blocked
+// Pops wake, and further Pushes fail with ErrClosed.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.nempty.Broadcast()
+}
+
+// Len returns the number of pending items.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Bytes returns the pending payload size.
+func (q *Queue) Bytes() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.bytes
+}
+
+// Snapshot reports the queue's monitored state for the BFC monitor and
+// experiment harness.
+type Snapshot struct {
+	Name     string
+	Len      int
+	Bytes    int64
+	MaxItems int
+	MaxBytes int64
+	Pushed   int64
+	Popped   int64
+	Rejected int64
+}
+
+// Snapshot returns current metrics.
+func (q *Queue) Snapshot() Snapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Snapshot{
+		Name:     q.name,
+		Len:      len(q.items),
+		Bytes:    q.bytes,
+		MaxItems: q.maxItems,
+		MaxBytes: q.maxBytes,
+		Pushed:   q.pushed.Value(),
+		Popped:   q.popped.Value(),
+		Rejected: q.rejected.Value(),
+	}
+}
+
+// Saturation returns the queue's fill fraction on its most-loaded axis,
+// in [0, 1] (or >1 transiently never — rejection prevents it). The BFC
+// monitor uses this to decide when a stage is under pressure.
+func (q *Queue) Saturation() float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var s float64
+	if q.maxItems > 0 {
+		s = float64(len(q.items)) / float64(q.maxItems)
+	}
+	if q.maxBytes > 0 {
+		if b := float64(q.bytes) / float64(q.maxBytes); b > s {
+			s = b
+		}
+	}
+	return s
+}

@@ -1,0 +1,248 @@
+package backpressure
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	q := NewQueue("test", 10, 0)
+	for i := 0; i < 5; i++ {
+		if err := q.Push(i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Pop()
+		if !ok || v.(int) != i {
+			t.Fatalf("Pop %d = %v, %v", i, v, ok)
+		}
+	}
+}
+
+func TestCountLimit(t *testing.T) {
+	q := NewQueue("test", 2, 0)
+	if err := q.Push("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("c", 1); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("third push err = %v, want ErrBackpressure", err)
+	}
+	// Draining frees capacity.
+	q.Pop()
+	if err := q.Push("c", 1); err != nil {
+		t.Fatalf("push after drain: %v", err)
+	}
+	if q.Snapshot().Rejected != 1 {
+		t.Errorf("Rejected = %d", q.Snapshot().Rejected)
+	}
+}
+
+func TestByteLimit(t *testing.T) {
+	// Few massive inputs must trip BFC even when the count is tiny —
+	// the paper's explicit motivation for the byte axis.
+	q := NewQueue("test", 1000, 100)
+	if err := q.Push("big", 90); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("small", 20); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("byte-limit push err = %v", err)
+	}
+	if err := q.Push("tiny", 10); err != nil {
+		t.Fatalf("fitting push rejected: %v", err)
+	}
+	if q.Bytes() != 100 {
+		t.Errorf("Bytes = %d", q.Bytes())
+	}
+}
+
+func TestUnlimitedAxes(t *testing.T) {
+	q := NewQueue("test", 0, 0)
+	for i := 0; i < 10000; i++ {
+		if err := q.Push(i, 1<<20); err != nil {
+			t.Fatalf("unlimited queue rejected push %d: %v", i, err)
+		}
+	}
+}
+
+func TestNegativeSizeClamped(t *testing.T) {
+	q := NewQueue("test", 0, 100)
+	if err := q.Push("x", -50); err != nil {
+		t.Fatal(err)
+	}
+	if q.Bytes() != 0 {
+		t.Errorf("Bytes = %d", q.Bytes())
+	}
+}
+
+func TestPopBlocksUntilPush(t *testing.T) {
+	q := NewQueue("test", 10, 0)
+	done := make(chan any, 1)
+	go func() {
+		v, _ := q.Pop()
+		done <- v
+	}()
+	select {
+	case <-done:
+		t.Fatal("Pop returned before Push")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := q.Push("wake", 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-done:
+		if v != "wake" {
+			t.Fatalf("got %v", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Pop never woke")
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	q := NewQueue("test", 10, 0)
+	if err := q.Push("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if err := q.Push("b", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close = %v", err)
+	}
+	// Pending item still drains.
+	if v, ok := q.Pop(); !ok || v != "a" {
+		t.Fatalf("Pop after close = %v, %v", v, ok)
+	}
+	// Then Pop reports drained.
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on drained closed queue should report false")
+	}
+}
+
+func TestCloseWakesBlockedPoppers(t *testing.T) {
+	q := NewQueue("test", 10, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := q.Pop(); ok {
+				t.Error("unexpected item")
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Close did not wake blocked poppers")
+	}
+}
+
+func TestTryPop(t *testing.T) {
+	q := NewQueue("test", 10, 0)
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty should miss")
+	}
+	if err := q.Push(7, 3); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := q.TryPop()
+	if !ok || v.(int) != 7 {
+		t.Fatalf("TryPop = %v, %v", v, ok)
+	}
+	if q.Bytes() != 0 || q.Len() != 0 {
+		t.Error("TryPop did not release accounting")
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	q := NewQueue("test", 10, 1000)
+	if got := q.Saturation(); got != 0 {
+		t.Errorf("empty saturation = %v", got)
+	}
+	q.Push("a", 900) // bytes: 0.9, items: 0.1
+	if got := q.Saturation(); got < 0.89 || got > 0.91 {
+		t.Errorf("saturation = %v, want 0.9 (max axis)", got)
+	}
+	q2 := NewQueue("items-only", 4, 0)
+	q2.Push(1, 0)
+	q2.Push(2, 0)
+	q2.Push(3, 0)
+	if got := q2.Saturation(); got != 0.75 {
+		t.Errorf("saturation = %v, want 0.75", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	q := NewQueue("wal-sync", 2, 50)
+	q.Push("a", 10)
+	q.Push("b", 20)
+	q.Push("c", 10) // rejected: count
+	q.Pop()
+	s := q.Snapshot()
+	if s.Name != "wal-sync" || s.Len != 1 || s.Bytes != 20 ||
+		s.Pushed != 2 || s.Popped != 1 || s.Rejected != 1 ||
+		s.MaxItems != 2 || s.MaxBytes != 50 {
+		t.Errorf("Snapshot = %+v", s)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := NewQueue("test", 64, 0)
+	const total = 4000
+	var produced, consumed, rejections int64
+	var pmu sync.Mutex
+
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < total/4; i++ {
+				for {
+					err := q.Push(i, 1)
+					if err == nil {
+						pmu.Lock()
+						produced++
+						pmu.Unlock()
+						break
+					}
+					pmu.Lock()
+					rejections++
+					pmu.Unlock()
+					time.Sleep(time.Microsecond)
+				}
+			}
+		}()
+	}
+	var cg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				if _, ok := q.Pop(); !ok {
+					return
+				}
+				pmu.Lock()
+				consumed++
+				pmu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cg.Wait()
+	if produced != total || consumed != total {
+		t.Errorf("produced %d consumed %d, want %d", produced, consumed, total)
+	}
+}

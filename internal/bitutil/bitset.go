@@ -1,0 +1,185 @@
+// Package bitutil provides bit-level primitives shared by the LogBlock
+// format and the query engine: fixed-size bitsets used as row-id sets and
+// null masks, and variable-length integer encoding used throughout the
+// on-disk format.
+package bitutil
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bitset is a fixed-capacity set of row ids backed by a []uint64.
+// The zero value is an empty bitset of capacity 0; use NewBitset to
+// allocate capacity up front.
+type Bitset struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// NewBitset returns a bitset able to hold bits [0, n).
+func NewBitset(n int) *Bitset {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Set sets bit i. Bits outside [0, Len) are ignored.
+func (b *Bitset) Set(i int) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	b.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear clears bit i.
+func (b *Bitset) Clear(i int) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	b.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// Test reports whether bit i is set.
+func (b *Bitset) Test(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// SetAll sets every bit in [0, Len).
+func (b *Bitset) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trimTail()
+}
+
+// ClearAll clears every bit.
+func (b *Bitset) ClearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// trimTail zeroes bits at positions >= n in the last word so that
+// Count and iteration never observe phantom bits.
+func (b *Bitset) trimTail() {
+	if rem := b.n & 63; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// And intersects b with other in place. Panics if lengths differ.
+func (b *Bitset) And(other *Bitset) {
+	if b.n != other.n {
+		panic(fmt.Sprintf("bitutil: And on bitsets of different length %d != %d", b.n, other.n))
+	}
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// Or unions b with other in place. Panics if lengths differ.
+func (b *Bitset) Or(other *Bitset) {
+	if b.n != other.n {
+		panic(fmt.Sprintf("bitutil: Or on bitsets of different length %d != %d", b.n, other.n))
+	}
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+}
+
+// AndNot removes every bit of other from b in place.
+func (b *Bitset) AndNot(other *Bitset) {
+	if b.n != other.n {
+		panic(fmt.Sprintf("bitutil: AndNot on bitsets of different length %d != %d", b.n, other.n))
+	}
+	for i := range b.words {
+		b.words[i] &^= other.words[i]
+	}
+}
+
+// Any reports whether at least one bit is set.
+func (b *Bitset) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// ForEach calls fn for every set bit in ascending order. If fn returns
+// false iteration stops early.
+func (b *Bitset) ForEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(wi*64 + tz) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the indexes of all set bits in ascending order.
+func (b *Bitset) Slice() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Bytes serializes the bitset: 8-byte little-endian length in bits
+// followed by the packed words.
+func (b *Bitset) Bytes() []byte {
+	out := make([]byte, 8+len(b.words)*8)
+	PutUint64(out[0:8], uint64(b.n))
+	for i, w := range b.words {
+		PutUint64(out[8+i*8:], w)
+	}
+	return out
+}
+
+// BitsetFromBytes deserializes a bitset produced by Bytes.
+func BitsetFromBytes(data []byte) (*Bitset, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("bitutil: bitset truncated: %d bytes", len(data))
+	}
+	n := int(Uint64(data[0:8]))
+	want := (n + 63) / 64 * 8
+	if len(data) < 8+want {
+		return nil, fmt.Errorf("bitutil: bitset body truncated: want %d bytes, have %d", want, len(data)-8)
+	}
+	b := NewBitset(n)
+	for i := range b.words {
+		b.words[i] = Uint64(data[8+i*8:])
+	}
+	b.trimTail()
+	return b, nil
+}

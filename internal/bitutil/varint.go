@@ -1,0 +1,85 @@
+package bitutil
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Fixed-width little-endian helpers. These simply delegate to
+// encoding/binary but give the on-disk format code a single import.
+
+// PutUint64 writes v into b in little-endian order.
+func PutUint64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+
+// Uint64 reads a little-endian uint64 from b.
+func Uint64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// PutUint32 writes v into b in little-endian order.
+func PutUint32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+
+// Uint32 reads a little-endian uint32 from b.
+func Uint32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+
+// AppendUvarint appends the unsigned varint encoding of v to dst.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendVarint appends the zig-zag signed varint encoding of v to dst.
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// Uvarint decodes an unsigned varint from b, returning the value and the
+// number of bytes consumed. It returns an error on truncated or overlong
+// input instead of the sentinel values binary.Uvarint uses.
+func Uvarint(b []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("bitutil: bad uvarint (n=%d)", n)
+	}
+	return v, n, nil
+}
+
+// Varint decodes a zig-zag signed varint from b.
+func Varint(b []byte) (int64, int, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("bitutil: bad varint (n=%d)", n)
+	}
+	return v, n, nil
+}
+
+// AppendLenBytes appends a uvarint length prefix followed by p.
+func AppendLenBytes(dst, p []byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(p)))
+	return append(dst, p...)
+}
+
+// LenBytes decodes a length-prefixed byte string, returning the payload
+// (aliasing b) and the total bytes consumed.
+func LenBytes(b []byte) ([]byte, int, error) {
+	l, n, err := Uvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if uint64(len(b)-n) < l {
+		return nil, 0, fmt.Errorf("bitutil: length-prefixed bytes truncated: want %d, have %d", l, len(b)-n)
+	}
+	return b[n : n+int(l)], n + int(l), nil
+}
+
+// AppendLenString appends a uvarint length prefix followed by s.
+func AppendLenString(dst []byte, s string) []byte {
+	dst = AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// LenString decodes a length-prefixed string.
+func LenString(b []byte) (string, int, error) {
+	p, n, err := LenBytes(b)
+	if err != nil {
+		return "", 0, err
+	}
+	return string(p), n, nil
+}

@@ -1,0 +1,199 @@
+// Package broker implements LogStore's distributed query layer (paper
+// §3): brokers accept SQL requests, parse and validate them, route
+// writes by the tenant routing table pushed from the controller's
+// hotspot manager, scatter sub-queries — real-time reads to the shards
+// that may hold the tenant's recent data, archived reads to workers
+// chosen by cache affinity — and merge the partial results into the
+// client response.
+package broker
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"logstore/internal/flow"
+	"logstore/internal/meta"
+	"logstore/internal/query"
+	"logstore/internal/schema"
+	"logstore/internal/worker"
+)
+
+// WorkerPool resolves workers and shard placement; the cluster harness
+// implements it.
+type WorkerPool interface {
+	// Worker returns the worker node by id.
+	Worker(id flow.WorkerID) (*worker.Worker, bool)
+	// ShardOwner returns the worker hosting a shard.
+	ShardOwner(s flow.ShardID) (flow.WorkerID, bool)
+	// WorkerIDs lists all workers (ascending).
+	WorkerIDs() []flow.WorkerID
+}
+
+// Config configures a broker.
+type Config struct {
+	ID int
+	// ExecOptions controls archived-read optimizations; the default
+	// enables data skipping (the paper's production setting).
+	Exec query.ExecOptions
+	// Seed randomizes weighted routing.
+	Seed int64
+}
+
+// Broker is one query-layer node.
+type Broker struct {
+	cfg       Config
+	sch       *schema.Schema
+	router    *flow.Router
+	collector *flow.Collector
+	catalog   *meta.Manager
+	pool      WorkerPool
+}
+
+// New constructs a broker. The router must be subscribed to the
+// controller's scheduler by the caller (scheduler.Subscribe(r.Update)).
+func New(cfg Config, sch *schema.Schema, router *flow.Router,
+	collector *flow.Collector, catalog *meta.Manager, pool WorkerPool) (*Broker, error) {
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	if router == nil || collector == nil || catalog == nil || pool == nil {
+		return nil, fmt.Errorf("broker: nil dependency")
+	}
+	return &Broker{cfg: cfg, sch: sch, router: router, collector: collector, catalog: catalog, pool: pool}, nil
+}
+
+// Append routes and writes a batch of rows. Rows may span tenants; the
+// broker groups them, routes each tenant's sub-batch by the routing
+// table, and records traffic for the hotspot monitor. The first error
+// (including backpressure) aborts the remainder.
+func (b *Broker) Append(rows []schema.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	tenantIdx := b.sch.TenantIdx()
+	byTenant := make(map[int64][]schema.Row)
+	for i, r := range rows {
+		if err := r.Conforms(b.sch); err != nil {
+			return fmt.Errorf("broker: row %d: %w", i, err)
+		}
+		byTenant[r[tenantIdx].I] = append(byTenant[r[tenantIdx].I], r)
+	}
+	tenants := make([]int64, 0, len(byTenant))
+	for t := range byTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i] < tenants[j] })
+	for _, tenant := range tenants {
+		batch := byTenant[tenant]
+		shard := b.router.Route(flow.TenantID(tenant))
+		wid, ok := b.pool.ShardOwner(shard)
+		if !ok {
+			return fmt.Errorf("broker: shard %d has no owner", shard)
+		}
+		w, ok := b.pool.Worker(wid)
+		if !ok {
+			return fmt.Errorf("broker: worker %d not found", wid)
+		}
+		if err := w.Append(shard, batch); err != nil {
+			return fmt.Errorf("broker: append tenant %d to shard %d: %w", tenant, shard, err)
+		}
+		b.collector.Record(flow.TenantID(tenant), shard, wid, int64(len(batch)))
+	}
+	return nil
+}
+
+// Query parses, plans, scatters, and merges one SQL query.
+func (b *Broker) Query(sql string) (*query.Result, error) {
+	q, err := query.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return b.Execute(q)
+}
+
+// Execute runs a parsed query.
+func (b *Broker) Execute(q *query.Query) (*query.Result, error) {
+	if err := q.Validate(b.sch); err != nil {
+		return nil, err
+	}
+	tenant, minTS, maxTS, ok := q.KeyRange(b.sch)
+	if !ok {
+		return nil, fmt.Errorf("broker: query must constrain %s with equality", b.sch.TenantCol)
+	}
+
+	// Plan: archived blocks from the LogBlock map, partitioned across
+	// workers by path hash (stable → cache affinity); real-time
+	// sub-queries to every shard in old+new routing plans.
+	blocks := b.catalog.Prune(tenant, minTS, maxTS)
+	byWorker := make(map[flow.WorkerID][]string)
+	workerIDs := b.pool.WorkerIDs()
+	if len(workerIDs) == 0 {
+		return nil, fmt.Errorf("broker: no workers")
+	}
+	for _, blk := range blocks {
+		h := fnv.New32a()
+		h.Write([]byte(blk.Path))
+		wid := workerIDs[int(h.Sum32())%len(workerIDs)]
+		byWorker[wid] = append(byWorker[wid], blk.Path)
+	}
+	shards := b.router.ReadShards(flow.TenantID(tenant))
+
+	type part struct {
+		res *query.Result
+		err error
+	}
+	results := make(chan part, len(byWorker)+len(shards))
+	var wg sync.WaitGroup
+
+	for wid, paths := range byWorker {
+		wid, paths := wid, paths
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, ok := b.pool.Worker(wid)
+			if !ok {
+				results <- part{err: fmt.Errorf("broker: worker %d not found", wid)}
+				return
+			}
+			res, err := w.QueryBlocks(paths, q, b.cfg.Exec)
+			results <- part{res: res, err: err}
+		}()
+	}
+	for _, shard := range shards {
+		shard := shard
+		wid, ok := b.pool.ShardOwner(shard)
+		if !ok {
+			continue // shard may have been removed; archived data covers it
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, ok := b.pool.Worker(wid)
+			if !ok {
+				results <- part{err: fmt.Errorf("broker: worker %d not found", wid)}
+				return
+			}
+			res, err := w.QueryRealtime(shard, q)
+			results <- part{res: res, err: err}
+		}()
+	}
+	wg.Wait()
+	close(results)
+
+	final := query.NewResult(q, b.sch)
+	for p := range results {
+		if p.err != nil {
+			return nil, p.err
+		}
+		final.Merge(p.res)
+	}
+	if err := final.Finalize(q); err != nil {
+		return nil, err
+	}
+	return final, nil
+}
+
+// Router exposes the broker's router (the scheduler subscribes it).
+func (b *Broker) Router() *flow.Router { return b.router }

@@ -1,0 +1,295 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestLRUBasic(t *testing.T) {
+	c := NewLRU(100, nil)
+	c.Put("a", []byte("aaa"), 30)
+	c.Put("b", []byte("bbb"), 30)
+	if v, ok := c.Get("a"); !ok || string(v.([]byte)) != "aaa" {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if c.Len() != 2 || c.Used() != 60 {
+		t.Fatalf("Len=%d Used=%d", c.Len(), c.Used())
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 0 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+	if _, ok := c.Get("zz"); ok {
+		t.Error("missing key hit")
+	}
+	_, misses = c.Stats()
+	if misses != 1 {
+		t.Errorf("misses = %d", misses)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	var evicted []string
+	c := NewLRU(100, func(key string, _ any, _ int64) {
+		evicted = append(evicted, key)
+	})
+	c.Put("a", nil, 40)
+	c.Put("b", nil, 40)
+	c.Get("a")          // a is now MRU
+	c.Put("c", nil, 40) // evicts b (LRU)
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted = %v, want [b]", evicted)
+	}
+	if !c.Contains("a") || !c.Contains("c") || c.Contains("b") {
+		t.Error("wrong survivors")
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := NewLRU(100, nil)
+	c.Put("a", "v1", 10)
+	c.Put("a", "v2", 50)
+	if c.Used() != 50 || c.Len() != 1 {
+		t.Fatalf("Used=%d Len=%d after update", c.Used(), c.Len())
+	}
+	if v, _ := c.Get("a"); v != "v2" {
+		t.Errorf("Get = %v", v)
+	}
+}
+
+func TestLRUOversizedEntry(t *testing.T) {
+	var evicted []string
+	c := NewLRU(50, func(key string, _ any, _ int64) { evicted = append(evicted, key) })
+	c.Put("huge", nil, 100)
+	if c.Len() != 0 {
+		t.Error("oversized entry should not remain")
+	}
+	if len(evicted) != 1 || evicted[0] != "huge" {
+		t.Errorf("evicted = %v", evicted)
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	c := NewLRU(0, nil)
+	c.Put("a", nil, 1)
+	if c.Len() != 0 {
+		t.Error("zero-capacity cache must stay empty")
+	}
+}
+
+func TestLRURemoveAndPurge(t *testing.T) {
+	evictions := 0
+	c := NewLRU(100, func(string, any, int64) { evictions++ })
+	c.Put("a", nil, 10)
+	c.Put("b", nil, 10)
+	c.Remove("a")
+	if c.Contains("a") || c.Used() != 10 {
+		t.Error("Remove broken")
+	}
+	c.Purge()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Error("Purge broken")
+	}
+	if evictions != 0 {
+		t.Error("Remove/Purge must not fire eviction callbacks")
+	}
+	c.Remove("never") // no-op
+}
+
+func TestLRUNegativeSizeClamped(t *testing.T) {
+	c := NewLRU(10, nil)
+	c.Put("a", nil, -5)
+	if c.Used() != 0 {
+		t.Errorf("Used = %d", c.Used())
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU(1<<20, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*500+i)%100)
+				c.Put(key, i, 64)
+				c.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestBlockCacheMemoryOnly(t *testing.T) {
+	bc, err := NewBlockCache(BlockCacheConfig{MemoryBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc.Put("k", []byte("data"))
+	got, ok := bc.Get("k")
+	if !ok || string(got) != "data" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if _, ok := bc.Get("missing"); ok {
+		t.Error("missing hit")
+	}
+	if bc.DiskUsed() != 0 {
+		t.Error("no disk level configured")
+	}
+}
+
+func TestBlockCacheDiskConfigValidation(t *testing.T) {
+	if _, err := NewBlockCache(BlockCacheConfig{MemoryBytes: 1, DiskBytes: 1}); err == nil {
+		t.Error("DiskBytes without DiskDir should error")
+	}
+}
+
+func TestBlockCacheSpillToDisk(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ssd")
+	bc, err := NewBlockCache(BlockCacheConfig{
+		MemoryBytes: 100,
+		DiskBytes:   10000,
+		DiskDir:     dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockA := bytes.Repeat([]byte("A"), 80)
+	blockB := bytes.Repeat([]byte("B"), 80)
+	bc.Put("a", blockA)
+	bc.Put("b", blockB) // evicts a from memory -> spills to disk
+	if bc.MemoryUsed() > 100 {
+		t.Errorf("memory over budget: %d", bc.MemoryUsed())
+	}
+	if bc.DiskUsed() != 80 {
+		t.Errorf("DiskUsed = %d, want 80 (spilled block)", bc.DiskUsed())
+	}
+	// Disk hit is promoted back to memory (evicting b this time).
+	got, ok := bc.Get("a")
+	if !ok || !bytes.Equal(got, blockA) {
+		t.Fatalf("disk-level Get(a) = %v, %v", ok, got)
+	}
+	if got2, ok := bc.Get("a"); !ok || !bytes.Equal(got2, blockA) {
+		t.Fatal("promoted block should hit memory")
+	}
+}
+
+func TestBlockCacheDiskEviction(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ssd")
+	bc, err := NewBlockCache(BlockCacheConfig{
+		MemoryBytes: 50,
+		DiskBytes:   150,
+		DiskDir:     dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push four 60-byte blocks: each Put evicts the previous one from
+	// memory to disk; the disk holds at most two (150/60).
+	for i := 0; i < 4; i++ {
+		bc.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{byte('0' + i)}, 60))
+	}
+	if bc.DiskUsed() > 150 {
+		t.Errorf("disk over budget: %d", bc.DiskUsed())
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) > 2 {
+		t.Errorf("disk dir holds %d files, capacity allows 2", len(files))
+	}
+	// The oldest spilled block is gone from both levels.
+	if _, ok := bc.Get("k0"); ok {
+		t.Error("k0 should have been evicted from disk")
+	}
+}
+
+func TestBlockCachePurge(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ssd")
+	bc, err := NewBlockCache(BlockCacheConfig{MemoryBytes: 100, DiskBytes: 1000, DiskDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc.Put("a", bytes.Repeat([]byte("a"), 80))
+	bc.Put("b", bytes.Repeat([]byte("b"), 80)) // spills a
+	bc.Purge()
+	if bc.MemoryUsed() != 0 || bc.DiskUsed() != 0 {
+		t.Error("Purge left residue")
+	}
+	files, _ := os.ReadDir(dir)
+	if len(files) != 0 {
+		t.Errorf("Purge left %d files on disk", len(files))
+	}
+	if _, ok := bc.Get("a"); ok {
+		t.Error("purged block still readable")
+	}
+}
+
+func TestBlockCacheStats(t *testing.T) {
+	bc, err := NewBlockCache(BlockCacheConfig{MemoryBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc.Put("k", []byte("v"))
+	bc.Get("k")
+	bc.Get("nope")
+	memHits, memMisses, _, _ := bc.Stats()
+	if memHits != 1 || memMisses != 1 {
+		t.Errorf("stats = %d/%d", memHits, memMisses)
+	}
+}
+
+func TestObjectCache(t *testing.T) {
+	oc := NewObjectCache(1000)
+	type parsed struct{ n int }
+	oc.Put("meta:1", &parsed{n: 42}, 100)
+	v, ok := oc.Get("meta:1")
+	if !ok || v.(*parsed).n != 42 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	hits, misses := oc.Stats()
+	if hits != 1 || misses != 0 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+	oc.Purge()
+	if _, ok := oc.Get("meta:1"); ok {
+		t.Error("purged object still cached")
+	}
+}
+
+func TestBlockCacheResetsStaleDiskDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ssd")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "stale")
+	if err := os.WriteFile(stale, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBlockCache(BlockCacheConfig{MemoryBytes: 10, DiskBytes: 100, DiskDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale disk cache content should be removed at startup")
+	}
+}
+
+func BenchmarkLRUPutGet(b *testing.B) {
+	c := NewLRU(1<<26, nil)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("obj/%d/block/%d", i%32, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		c.Put(k, k, 1024)
+		c.Get(k)
+	}
+}

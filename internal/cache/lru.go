@@ -1,0 +1,147 @@
+// Package cache implements LogStore's multi-level data cache (paper
+// §5.2, Figure 9): an object cache for decoded structures (LogBlock
+// metas, index segments), a byte-bounded memory block cache for file
+// blocks ranged out of OSS, and an SSD block cache the memory level
+// spills into. The block manager — eviction and level swapping — is the
+// LRU machinery in this file.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// EvictFunc is called with entries evicted from an LRU (outside the
+// cache lock is NOT guaranteed; keep callbacks cheap or dispatch async).
+type EvictFunc func(key string, value any, size int64)
+
+// LRU is a byte-bounded least-recently-used cache. It is safe for
+// concurrent use.
+type LRU struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ll       *list.List
+	items    map[string]*list.Element
+	onEvict  EvictFunc
+
+	hits   int64
+	misses int64
+}
+
+type lruEntry struct {
+	key   string
+	value any
+	size  int64
+}
+
+// NewLRU returns an LRU bounded to capacity bytes. capacity <= 0 means
+// the cache stores nothing (every Put is immediately evicted).
+func NewLRU(capacity int64, onEvict EvictFunc) *LRU {
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		onEvict:  onEvict,
+	}
+}
+
+// Get returns the cached value and marks it recently used.
+func (c *LRU) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Contains reports presence without updating recency or hit counters.
+func (c *LRU) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put inserts or updates an entry, evicting LRU entries as needed.
+// Entries larger than the whole capacity are rejected (evicted
+// immediately via the callback rather than silently dropped).
+func (c *LRU) Put(key string, value any, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	var evicted []*lruEntry
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		old := el.Value.(*lruEntry)
+		c.used -= old.size
+		old.value = value
+		old.size = size
+		c.used += size
+		c.ll.MoveToFront(el)
+	} else {
+		e := &lruEntry{key: key, value: value, size: size}
+		c.items[key] = c.ll.PushFront(e)
+		c.used += size
+	}
+	for c.used > c.capacity && c.ll.Len() > 0 {
+		back := c.ll.Back()
+		e := back.Value.(*lruEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.used -= e.size
+		evicted = append(evicted, e)
+	}
+	c.mu.Unlock()
+	if c.onEvict != nil {
+		for _, e := range evicted {
+			c.onEvict(e.key, e.value, e.size)
+		}
+	}
+}
+
+// Remove deletes an entry without invoking the eviction callback.
+func (c *LRU) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.used -= e.size
+	}
+}
+
+// Len returns the number of entries.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Used returns the bytes currently held.
+func (c *LRU) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Stats returns cumulative hits and misses.
+func (c *LRU) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Purge drops every entry without eviction callbacks.
+func (c *LRU) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.used = 0
+}

@@ -1,0 +1,103 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation section (§6). Each Fig* function runs one experiment and
+// returns a Table whose rows mirror the series the paper plots; the
+// cmd/logstore-bench binary prints them, and the repository's
+// bench_test.go wraps them as Go benchmarks.
+//
+// Scale note: the paper's testbed is 9 ECS VMs pushing up to 10M+
+// rows/s. Here the traffic-control experiments (Figures 12-14) drive
+// the real scheduling code (internal/flow) with synthetic Zipfian
+// demand — exactly the YCSB-style load the paper injects — and compute
+// throughput/latency from shard/worker saturation, while the query
+// experiments (Figures 15-17) run live against an embedded cluster over
+// simulated object storage. Absolute numbers therefore differ from the
+// paper; the shapes (who wins, by what factor, where the knees are) are
+// the reproduction target. See EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: a header and numeric rows, printed
+// as TSV so results can be piped into plotting tools.
+type Table struct {
+	Name    string
+	Comment string
+	Header  []string
+	Rows    [][]float64
+}
+
+// Print writes the table as TSV with a comment banner.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", t.Name)
+	if t.Comment != "" {
+		for _, line := range strings.Split(t.Comment, "\n") {
+			fmt.Fprintf(w, "# %s\n", line)
+		}
+	}
+	fmt.Fprintln(w, strings.Join(t.Header, "\t"))
+	for _, row := range t.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			switch {
+			case v == float64(int64(v)) && v < 1e15:
+				parts[i] = fmt.Sprintf("%d", int64(v))
+			default:
+				parts[i] = fmt.Sprintf("%.4g", v)
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, "\t"))
+	}
+	fmt.Fprintln(w)
+}
+
+// Scale controls experiment sizes so the default run finishes on a
+// laptop in minutes while remaining faithful in shape.
+type Scale struct {
+	// Tenants in the workload (paper: 1000).
+	Tenants int
+	// Rows ingested for the query experiments (paper: 48h of data).
+	Rows int
+	// QueryTenants bounds how many of the hottest tenants the
+	// per-tenant latency figures report (paper: top 100).
+	QueryTenants int
+	// QueriesPerTenant mirrors the paper's 6 query shapes.
+	QueriesPerTenant int
+	// TotalRate is the aggregate demand (rows/s) of the traffic-control
+	// experiments.
+	TotalRate float64
+	// Workers and ShardsPerWorker shape the simulated cluster (paper:
+	// 24 workers; here smaller by default).
+	Workers         int
+	ShardsPerWorker int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultScale returns the default experiment sizing.
+func DefaultScale() Scale {
+	return Scale{
+		Tenants:          1000,
+		Rows:             400_000,
+		QueryTenants:     20,
+		QueriesPerTenant: 6,
+		TotalRate:        1_500_000,
+		Workers:          6,
+		ShardsPerWorker:  4,
+		Seed:             1,
+	}
+}
+
+// PaperScale approximates the paper's full experiment sizes (slow).
+func PaperScale() Scale {
+	s := DefaultScale()
+	s.Rows = 2_000_000
+	s.QueryTenants = 100
+	s.Workers = 24
+	s.ShardsPerWorker = 2
+	s.TotalRate = 10_000_000
+	return s
+}

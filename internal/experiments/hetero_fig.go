@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"math"
+
+	"logstore/internal/flow"
+)
+
+// FigHetero reproduces the paper's third motivation for dynamic traffic
+// control (§4: "Heterogeneity of ECS nodes ... the heterogeneity of
+// computing nodes is inevitable"): a long-running cluster accumulates
+// worker generations with different capacities. Capacity-blind routing
+// overloads the small nodes; the max-flow balancer models per-worker
+// capacity explicitly (the D_k → T sink edges) and keeps every node
+// below the α watermark.
+//
+// The simulated cluster mixes three worker generations at capacity
+// ratios 1 : 2 : 3. The table reports, per strategy, the delivered
+// throughput and the highest worker utilization.
+func FigHetero(s Scale) *Table {
+	// Build a heterogeneous topology: Workers nodes across three
+	// generations, shardsPer shards each, total capacity = demand×1.5.
+	gens := []float64{1, 2, 3}
+	var weightSum float64
+	for i := 0; i < s.Workers; i++ {
+		weightSum += gens[i%len(gens)]
+	}
+	unit := s.TotalRate * 1.5 / weightSum
+	topo := &flow.Topology{
+		ShardWorker:    map[flow.ShardID]flow.WorkerID{},
+		ShardCapacity:  map[flow.ShardID]float64{},
+		WorkerCapacity: map[flow.WorkerID]float64{},
+	}
+	sid := 0
+	for w := 0; w < s.Workers; w++ {
+		cap := unit * gens[w%len(gens)]
+		topo.WorkerCapacity[flow.WorkerID(w)] = cap
+		for j := 0; j < s.ShardsPerWorker; j++ {
+			topo.ShardWorker[flow.ShardID(sid)] = flow.WorkerID(w)
+			topo.ShardCapacity[flow.ShardID(sid)] = cap / float64(s.ShardsPerWorker) * 1.25
+			sid++
+		}
+	}
+	ids := make([]flow.TenantID, s.Tenants)
+	for i := range ids {
+		ids[i] = flow.TenantID(i)
+	}
+	cfg := flow.DefaultBalancerConfig()
+	// f_max relative to the smallest shard so one tenant never pins a
+	// small node.
+	smallest := math.Inf(1)
+	for _, c := range topo.ShardCapacity {
+		smallest = math.Min(smallest, c)
+	}
+	cfg.TenantShardLimit = smallest * cfg.ShardHotFraction
+
+	sim := &trafficSim{topo: topo, cfg: cfg, ids: ids, s: s}
+	const theta = 0.8
+	demand := sim.demand(theta)
+
+	t := &Table{
+		Name: "fig-hetero-workers",
+		Comment: "Heterogeneous workers (capacity ratios 1:2:3), θ=0.8:\n" +
+			"delivered throughput and peak worker utilization per strategy.",
+		Header: []string{"strategy", "throughput", "peak_worker_util", "worker_util_stddev"},
+	}
+	for i, algo := range []flow.Algorithm{flow.AlgorithmNone, flow.AlgorithmGreedy, flow.AlgorithmMaxFlow} {
+		rt := sim.converge(algo, theta)
+		thr := sim.throughput(rt, demand)
+		tr := sim.trafficFor(rt, demand)
+		peak := 0.0
+		var utils []float64
+		for w, cap := range topo.WorkerCapacity {
+			u := tr.Worker[w] / cap
+			utils = append(utils, u)
+			if u > peak {
+				peak = u
+			}
+		}
+		var mean float64
+		for _, u := range utils {
+			mean += u
+		}
+		mean /= float64(len(utils))
+		var ss float64
+		for _, u := range utils {
+			ss += (u - mean) * (u - mean)
+		}
+		t.Rows = append(t.Rows, []float64{float64(i), thr, peak, math.Sqrt(ss / float64(len(utils)))})
+	}
+	return t
+}

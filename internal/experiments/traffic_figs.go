@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"logstore/internal/flow"
+	"logstore/internal/metrics"
+	"logstore/internal/workload"
+)
+
+// trafficSim drives the real traffic-control code (internal/flow) with
+// synthetic Zipfian demand, the way the paper's YCSB harness does, and
+// derives throughput/latency from shard and worker saturation.
+type trafficSim struct {
+	topo *flow.Topology
+	cfg  flow.BalancerConfig
+	ids  []flow.TenantID
+	s    Scale
+}
+
+func newTrafficSim(s Scale) *trafficSim {
+	topo := &flow.Topology{
+		ShardWorker:    map[flow.ShardID]flow.WorkerID{},
+		ShardCapacity:  map[flow.ShardID]float64{},
+		WorkerCapacity: map[flow.WorkerID]float64{},
+	}
+	// Worker capacity splits the aggregate demand with ~35% headroom so
+	// a balanced plan always fits but an unbalanced one saturates.
+	workerCap := s.TotalRate * 1.35 / float64(s.Workers)
+	shardCap := workerCap / float64(s.ShardsPerWorker) * 1.25
+	sid := 0
+	for w := 0; w < s.Workers; w++ {
+		topo.WorkerCapacity[flow.WorkerID(w)] = workerCap
+		for j := 0; j < s.ShardsPerWorker; j++ {
+			topo.ShardWorker[flow.ShardID(sid)] = flow.WorkerID(w)
+			topo.ShardCapacity[flow.ShardID(sid)] = shardCap
+			sid++
+		}
+	}
+	ids := make([]flow.TenantID, s.Tenants)
+	for i := range ids {
+		ids[i] = flow.TenantID(i)
+	}
+	cfg := flow.DefaultBalancerConfig()
+	cfg.TenantShardLimit = shardCap * cfg.ShardHotFraction
+	return &trafficSim{topo: topo, cfg: cfg, ids: ids, s: s}
+}
+
+// demand returns Zipf(θ)-proportional tenant rates.
+func (ts *trafficSim) demand(theta float64) map[flow.TenantID]float64 {
+	z := workload.NewZipfian(ts.s.Tenants, theta, ts.s.Seed)
+	out := make(map[flow.TenantID]float64, ts.s.Tenants)
+	for k := 0; k < ts.s.Tenants; k++ {
+		out[flow.TenantID(k)] = z.Weight(k) * ts.s.TotalRate
+	}
+	return out
+}
+
+// trafficFor projects demand through a routing table.
+func (ts *trafficSim) trafficFor(rt flow.RouteTable, demand map[flow.TenantID]float64) *flow.Traffic {
+	tr := &flow.Traffic{
+		Tenant: demand,
+		Shard:  map[flow.ShardID]float64{},
+		Worker: map[flow.WorkerID]float64{},
+	}
+	for t, shards := range rt {
+		for s, w := range shards {
+			f := w * demand[t]
+			tr.Shard[s] += f
+			tr.Worker[ts.topo.ShardWorker[s]] += f
+		}
+	}
+	return tr
+}
+
+// converge iterates the scheduling framework until no shard is hot
+// (bounded), mirroring the production 300 s loop reaching steady state.
+func (ts *trafficSim) converge(algo flow.Algorithm, theta float64) flow.RouteTable {
+	rt := flow.InitialRouteTable(ts.ids, ts.topo.Shards())
+	if algo == flow.AlgorithmNone {
+		return rt
+	}
+	demand := ts.demand(theta)
+	for iter := 0; iter < 30; iter++ {
+		tr := ts.trafficFor(rt, demand)
+		if len(flow.HotShards(ts.topo, tr, ts.cfg)) == 0 {
+			break
+		}
+		switch algo {
+		case flow.AlgorithmGreedy:
+			rt = flow.GreedyBalance(ts.topo, tr, rt, ts.cfg)
+		case flow.AlgorithmMaxFlow:
+			res := flow.MaxFlowBalance(ts.topo, tr, rt, ts.cfg)
+			rt = res.Table
+			if !res.Satisfied {
+				return rt
+			}
+		}
+	}
+	return rt
+}
+
+// throughput computes delivered rows/s: shard-level then worker-level
+// capacity caps applied to the offered load.
+func (ts *trafficSim) throughput(rt flow.RouteTable, demand map[flow.TenantID]float64) float64 {
+	tr := ts.trafficFor(rt, demand)
+	deliveredPerWorker := map[flow.WorkerID]float64{}
+	offeredPerWorker := map[flow.WorkerID]float64{}
+	for s, offered := range tr.Shard {
+		d := math.Min(offered, ts.topo.ShardCapacity[s])
+		w := ts.topo.ShardWorker[s]
+		deliveredPerWorker[w] += d
+		offeredPerWorker[w] += offered
+	}
+	var total float64
+	for w, d := range deliveredPerWorker {
+		total += math.Min(d, ts.topo.WorkerCapacity[w])
+	}
+	return total
+}
+
+// latency models the mean time to write a batch of 1000 entries: a
+// base service time amplified by 1/(1-ρ) queueing delay on the
+// destination shard (ρ capped at 0.99, i.e. ~100× base when saturated,
+// reproducing the ~2 s worst case of Figure 12b for a 20 ms base).
+func (ts *trafficSim) latency(rt flow.RouteTable, demand map[flow.TenantID]float64) float64 {
+	const baseMS = 20.0
+	tr := ts.trafficFor(rt, demand)
+	rho := func(s flow.ShardID) float64 {
+		r := tr.Shard[s] / ts.topo.ShardCapacity[s]
+		w := ts.topo.ShardWorker[s]
+		if wr := tr.Worker[w] / ts.topo.WorkerCapacity[w]; wr > r {
+			r = wr
+		}
+		return math.Min(r, 0.99)
+	}
+	var num, den float64
+	for t, shards := range rt {
+		f := demand[t]
+		if f <= 0 {
+			continue
+		}
+		var lat float64
+		for s, w := range shards {
+			lat += w * baseMS / (1 - rho(s))
+		}
+		num += f * lat
+		den += f
+	}
+	if den == 0 {
+		return baseMS
+	}
+	return num / den
+}
+
+// accessStats returns per-shard and per-worker offered loads as sorted
+// descending slices (the "accesses per second" of Figure 14).
+func (ts *trafficSim) accessStats(rt flow.RouteTable, demand map[flow.TenantID]float64) (shards, workers []float64) {
+	tr := ts.trafficFor(rt, demand)
+	for _, s := range ts.topo.Shards() {
+		shards = append(shards, tr.Shard[s])
+	}
+	for _, w := range ts.topo.Workers() {
+		workers = append(workers, tr.Worker[w])
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(shards)))
+	sort.Sort(sort.Reverse(sort.Float64Slice(workers)))
+	return
+}
+
+var thetas = []float64{0, 0.2, 0.4, 0.6, 0.8, 0.99}
+
+// Fig12 regenerates Figure 12: throughput (a), write latency (b), and
+// route-rule count (c) across skew factors for no control, greedy, and
+// max-flow scheduling.
+func Fig12(s Scale) (a, b, c *Table) {
+	sim := newTrafficSim(s)
+	a = &Table{
+		Name:    "fig12a-throughput-vs-skew",
+		Comment: "Figure 12(a): delivered throughput (rows/s) as skew grows.",
+		Header:  []string{"theta", "none", "greedy", "maxflow"},
+	}
+	b = &Table{
+		Name:    "fig12b-latency-vs-skew",
+		Comment: "Figure 12(b): mean latency (ms) for writing a 1000-entry batch.",
+		Header:  []string{"theta", "none", "greedy", "maxflow"},
+	}
+	c = &Table{
+		Name:    "fig12c-routes-vs-skew",
+		Comment: "Figure 12(c): route rules added beyond the one-per-tenant baseline.",
+		Header:  []string{"theta", "none", "greedy", "maxflow"},
+	}
+	for _, theta := range thetas {
+		demand := sim.demand(theta)
+		var thr, lat, routes [3]float64
+		for i, algo := range []flow.Algorithm{flow.AlgorithmNone, flow.AlgorithmGreedy, flow.AlgorithmMaxFlow} {
+			rt := sim.converge(algo, theta)
+			thr[i] = sim.throughput(rt, demand)
+			lat[i] = sim.latency(rt, demand)
+			routes[i] = float64(rt.Routes() - len(sim.ids))
+		}
+		a.Rows = append(a.Rows, []float64{theta, thr[0], thr[1], thr[2]})
+		b.Rows = append(b.Rows, []float64{theta, lat[0], lat[1], lat[2]})
+		c.Rows = append(c.Rows, []float64{theta, routes[0], routes[1], routes[2]})
+	}
+	return a, b, c
+}
+
+// Fig13 regenerates Figure 13: standard deviation of shard (a) and
+// worker (b) accesses before and after max-flow balancing, per skew.
+func Fig13(s Scale) (a, b *Table) {
+	sim := newTrafficSim(s)
+	a = &Table{
+		Name:    "fig13a-shard-access-stddev",
+		Comment: "Figure 13(a): shard access stddev before/after max-flow balancing.",
+		Header:  []string{"theta", "before", "after"},
+	}
+	b = &Table{
+		Name:    "fig13b-worker-access-stddev",
+		Comment: "Figure 13(b): worker access stddev before/after max-flow balancing.",
+		Header:  []string{"theta", "before", "after"},
+	}
+	for _, theta := range thetas {
+		demand := sim.demand(theta)
+		before := flow.InitialRouteTable(sim.ids, sim.topo.Shards())
+		after := sim.converge(flow.AlgorithmMaxFlow, theta)
+		sb, wb := sim.accessStats(before, demand)
+		sa, wa := sim.accessStats(after, demand)
+		a.Rows = append(a.Rows, []float64{theta, metrics.Stddev(sb), metrics.Stddev(sa)})
+		b.Rows = append(b.Rows, []float64{theta, metrics.Stddev(wb), metrics.Stddev(wa)})
+	}
+	return a, b
+}
+
+// Fig14 regenerates Figure 14 at θ=0.99: ranked shard accesses (a),
+// ranked worker accesses (b), and per-worker CPU utilization (c),
+// before and after max-flow balancing.
+func Fig14(s Scale) (a, b, c *Table) {
+	sim := newTrafficSim(s)
+	const theta = 0.99
+	demand := sim.demand(theta)
+	before := flow.InitialRouteTable(sim.ids, sim.topo.Shards())
+	after := sim.converge(flow.AlgorithmMaxFlow, theta)
+	sb, wb := sim.accessStats(before, demand)
+	sa, wa := sim.accessStats(after, demand)
+
+	a = &Table{
+		Name:    "fig14a-shard-accesses",
+		Comment: "Figure 14(a): per-shard accesses/s at θ=0.99, ranked descending.",
+		Header:  []string{"shard_rank", "before", "after"},
+	}
+	for i := range sb {
+		a.Rows = append(a.Rows, []float64{float64(i + 1), sb[i], sa[i]})
+	}
+	b = &Table{
+		Name:    "fig14b-worker-accesses",
+		Comment: "Figure 14(b,c): per-worker accesses/s at θ=0.99, ranked descending.",
+		Header:  []string{"worker_rank", "before", "after"},
+	}
+	for i := range wb {
+		b.Rows = append(b.Rows, []float64{float64(i + 1), wb[i], wa[i]})
+	}
+	c = &Table{
+		Name:    "fig14c-worker-cpu-utilization",
+		Comment: "Figure 14(c): per-worker utilization (load/capacity), ranked.",
+		Header:  []string{"worker_rank", "before", "after"},
+	}
+	capSorted := make([]float64, 0, len(sim.topo.WorkerCapacity))
+	for _, w := range sim.topo.Workers() {
+		capSorted = append(capSorted, sim.topo.WorkerCapacity[w])
+	}
+	for i := range wb {
+		c.Rows = append(c.Rows, []float64{
+			float64(i + 1),
+			math.Min(wb[i]/capSorted[i], 1.0),
+			math.Min(wa[i]/capSorted[i], 1.0),
+		})
+	}
+	return a, b, c
+}

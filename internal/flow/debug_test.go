@@ -1,0 +1,30 @@
+package flow
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestMaxFlowDebug prints the balancing trajectory for the Figure-12c
+// scenario; it asserts nothing beyond satisfaction and exists to keep a
+// reproducible window into the algorithm's behaviour.
+func TestMaxFlowDebug(t *testing.T) {
+	topo := testTopology(6, 4, 100_000, 400_000)
+	cfg := DefaultBalancerConfig()
+	tenants := make([]TenantID, 200)
+	for i := range tenants {
+		tenants[i] = TenantID(i)
+	}
+	rt := InitialRouteTable(tenants, topo.Shards())
+	tr := zipfTraffic(topo, rt, 200, 0.99, 1_500_000)
+	t.Logf("demand %.0f, cluster α-capacity %.0f", tr.TotalTenant(), 0.85*6*400_000)
+	loads := make([]float64, 0)
+	for _, s := range topo.Shards() {
+		loads = append(loads, tr.Shard[s])
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(loads)))
+	t.Logf("top shard loads: %.0f", loads[:6])
+	res := MaxFlowBalance(topo, tr, rt, cfg)
+	t.Logf("satisfied=%v fmax=%.0f edgesAdded=%d routes=%d",
+		res.Satisfied, res.MaxFlow, res.EdgesAdded, res.Table.Routes())
+}

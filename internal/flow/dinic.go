@@ -1,0 +1,103 @@
+package flow
+
+import "math"
+
+// Dinic's algorithm (Dinic 1970), the max-flow solver Algorithm 3 runs
+// on the tenant→shard→worker network. Capacities and flows are float64;
+// the epsilon guards treat values below 1e-9 as zero.
+
+const dinicEps = 1e-9
+
+// dinicEdge is one directed edge with a residual twin at index rev in
+// the adjacency list of to.
+type dinicEdge struct {
+	to   int
+	rev  int
+	cap  float64
+	flow float64
+}
+
+// DinicGraph is a flow network on integer-indexed vertices.
+type DinicGraph struct {
+	n     int
+	adj   [][]dinicEdge
+	level []int
+	iter  []int
+}
+
+// NewDinicGraph returns an empty network with n vertices.
+func NewDinicGraph(n int) *DinicGraph {
+	return &DinicGraph{n: n, adj: make([][]dinicEdge, n)}
+}
+
+// AddEdge adds a directed edge u→v with the given capacity and returns
+// a handle (u, index) for reading its flow after solving.
+func (g *DinicGraph) AddEdge(u, v int, capacity float64) (int, int) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	g.adj[u] = append(g.adj[u], dinicEdge{to: v, rev: len(g.adj[v]), cap: capacity})
+	g.adj[v] = append(g.adj[v], dinicEdge{to: u, rev: len(g.adj[u]) - 1, cap: 0})
+	return u, len(g.adj[u]) - 1
+}
+
+// Flow returns the flow currently on an edge handle.
+func (g *DinicGraph) Flow(u, idx int) float64 {
+	return g.adj[u][idx].flow
+}
+
+func (g *DinicGraph) bfs(s, t int) bool {
+	g.level = make([]int, g.n)
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := []int{s}
+	g.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if e.cap-e.flow > dinicEps && g.level[e.to] < 0 {
+				g.level[e.to] = g.level[u] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+func (g *DinicGraph) dfs(u, t int, pushed float64) float64 {
+	if u == t {
+		return pushed
+	}
+	for ; g.iter[u] < len(g.adj[u]); g.iter[u]++ {
+		e := &g.adj[u][g.iter[u]]
+		if e.cap-e.flow <= dinicEps || g.level[e.to] != g.level[u]+1 {
+			continue
+		}
+		d := g.dfs(e.to, t, math.Min(pushed, e.cap-e.flow))
+		if d > dinicEps {
+			e.flow += d
+			g.adj[e.to][e.rev].flow -= d
+			return d
+		}
+	}
+	return 0
+}
+
+// MaxFlow computes the maximum s→t flow, leaving per-edge flows
+// readable through Flow.
+func (g *DinicGraph) MaxFlow(s, t int) float64 {
+	var total float64
+	for g.bfs(s, t) {
+		g.iter = make([]int, g.n)
+		for {
+			f := g.dfs(s, t, math.Inf(1))
+			if f <= dinicEps {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}

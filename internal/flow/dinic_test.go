@@ -1,0 +1,184 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDinicTextbook(t *testing.T) {
+	// Classic 6-node example with known max flow 23.
+	g := NewDinicGraph(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if got := g.MaxFlow(0, 5); math.Abs(got-23) > 1e-9 {
+		t.Fatalf("max flow = %v, want 23", got)
+	}
+}
+
+func TestDinicDisconnected(t *testing.T) {
+	g := NewDinicGraph(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(2, 3, 10)
+	if got := g.MaxFlow(0, 3); got != 0 {
+		t.Fatalf("disconnected flow = %v", got)
+	}
+}
+
+func TestDinicSingleEdge(t *testing.T) {
+	g := NewDinicGraph(2)
+	u, idx := g.AddEdge(0, 1, 7.5)
+	if got := g.MaxFlow(0, 1); math.Abs(got-7.5) > 1e-9 {
+		t.Fatalf("flow = %v", got)
+	}
+	if got := g.Flow(u, idx); math.Abs(got-7.5) > 1e-9 {
+		t.Fatalf("edge flow = %v", got)
+	}
+}
+
+func TestDinicParallelPaths(t *testing.T) {
+	g := NewDinicGraph(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(1, 3, 5)
+	g.AddEdge(2, 3, 5)
+	if got := g.MaxFlow(0, 3); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("flow = %v, want 10", got)
+	}
+}
+
+func TestDinicNegativeCapacityClamped(t *testing.T) {
+	g := NewDinicGraph(2)
+	g.AddEdge(0, 1, -5)
+	if got := g.MaxFlow(0, 1); got != 0 {
+		t.Fatalf("negative capacity produced flow %v", got)
+	}
+}
+
+// referenceMaxFlow is a simple Ford-Fulkerson (BFS augmenting paths)
+// used to cross-check Dinic on random graphs.
+func referenceMaxFlow(n int, edges [][3]float64, s, t int) float64 {
+	cap := make([][]float64, n)
+	for i := range cap {
+		cap[i] = make([]float64, n)
+	}
+	for _, e := range edges {
+		cap[int(e[0])][int(e[1])] += e[2]
+	}
+	var total float64
+	for {
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && parent[t] < 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if parent[v] < 0 && cap[u][v] > 1e-9 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parent[t] < 0 {
+			return total
+		}
+		aug := math.Inf(1)
+		for v := t; v != s; v = parent[v] {
+			aug = math.Min(aug, cap[parent[v]][v])
+		}
+		for v := t; v != s; v = parent[v] {
+			cap[parent[v]][v] -= aug
+			cap[v][parent[v]] += aug
+		}
+		total += aug
+	}
+}
+
+func TestDinicMatchesReferenceOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(10)
+		var edges [][3]float64
+		g := NewDinicGraph(n)
+		for i := 0; i < n*3; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := float64(1 + rng.Intn(20))
+			g.AddEdge(u, v, c)
+			edges = append(edges, [3]float64{float64(u), float64(v), c})
+		}
+		want := referenceMaxFlow(n, edges, 0, n-1)
+		got := g.MaxFlow(0, n-1)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: dinic %v != reference %v", trial, got, want)
+		}
+	}
+}
+
+func TestDinicFlowConservation(t *testing.T) {
+	// After solving, flow into each internal vertex equals flow out.
+	rng := rand.New(rand.NewSource(5))
+	n := 8
+	g := NewDinicGraph(n)
+	for i := 0; i < 20; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, float64(1+rng.Intn(10)))
+		}
+	}
+	g.MaxFlow(0, n-1)
+	net := make([]float64, n)
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if e.cap > 0 { // forward edges only
+				net[u] -= e.flow
+				net[e.to] += e.flow
+			}
+		}
+	}
+	for v := 1; v < n-1; v++ {
+		if math.Abs(net[v]) > 1e-6 {
+			t.Fatalf("vertex %d violates conservation: net %v", v, net[v])
+		}
+	}
+}
+
+func BenchmarkDinic(b *testing.B) {
+	// A LogStore-shaped network: 1000 tenants, 48 shards, 24 workers.
+	rng := rand.New(rand.NewSource(1))
+	build := func() *DinicGraph {
+		nT, nS, nW := 1000, 48, 24
+		g := NewDinicGraph(1 + nT + nS + nW + 1)
+		sink := 1 + nT + nS + nW
+		for i := 0; i < nT; i++ {
+			g.AddEdge(0, 1+i, float64(rng.Intn(1000)))
+			g.AddEdge(1+i, 1+nT+rng.Intn(nS), 100000)
+		}
+		for j := 0; j < nS; j++ {
+			g.AddEdge(1+nT+j, 1+nT+nS+j%nW, 200000)
+		}
+		for k := 0; k < nW; k++ {
+			g.AddEdge(1+nT+nS+k, sink, 400000*0.85)
+		}
+		return g
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := build()
+		g.MaxFlow(0, g.n-1)
+	}
+}

@@ -1,0 +1,101 @@
+package flow
+
+import (
+	"sync"
+	"time"
+
+	"logstore/internal/metrics"
+)
+
+// Collector is the monitor module of the hotspot manager (paper §4.1.3):
+// it aggregates runtime traffic of tenants, shards, and workers over a
+// sliding window and produces the Traffic snapshots the balancer
+// consumes. "It collects tenant traffic f(Ki), shard load f(Pj) and
+// worker node load f(Dk)."
+type Collector struct {
+	mu      sync.Mutex
+	window  time.Duration
+	buckets int
+	tenant  map[TenantID]*metrics.Rate
+	shard   map[ShardID]*metrics.Rate
+	worker  map[WorkerID]*metrics.Rate
+}
+
+// NewCollector returns a collector averaging over the given window
+// (0 = 10s) split into per-second buckets.
+func NewCollector(window time.Duration) *Collector {
+	if window <= 0 {
+		window = 10 * time.Second
+	}
+	buckets := int(window / time.Second)
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &Collector{
+		window:  window,
+		buckets: buckets,
+		tenant:  make(map[TenantID]*metrics.Rate),
+		shard:   make(map[ShardID]*metrics.Rate),
+		worker:  make(map[WorkerID]*metrics.Rate),
+	}
+}
+
+func (c *Collector) span() time.Duration {
+	return c.window / time.Duration(c.buckets)
+}
+
+// Record accounts n units of traffic from tenant t landing on shard s
+// of worker w.
+func (c *Collector) Record(t TenantID, s ShardID, w WorkerID, n int64) {
+	c.mu.Lock()
+	tr, ok := c.tenant[t]
+	if !ok {
+		tr = metrics.NewRate(c.buckets, c.span())
+		c.tenant[t] = tr
+	}
+	sr, ok := c.shard[s]
+	if !ok {
+		sr = metrics.NewRate(c.buckets, c.span())
+		c.shard[s] = sr
+	}
+	wr, ok := c.worker[w]
+	if !ok {
+		wr = metrics.NewRate(c.buckets, c.span())
+		c.worker[w] = wr
+	}
+	c.mu.Unlock()
+	tr.Add(n)
+	sr.Add(n)
+	wr.Add(n)
+}
+
+// Snapshot returns the current rates (units/sec) for every observed
+// tenant, shard, and worker.
+func (c *Collector) Snapshot() *Traffic {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tr := &Traffic{
+		Tenant: make(map[TenantID]float64, len(c.tenant)),
+		Shard:  make(map[ShardID]float64, len(c.shard)),
+		Worker: make(map[WorkerID]float64, len(c.worker)),
+	}
+	for t, r := range c.tenant {
+		tr.Tenant[t] = r.PerSecond()
+	}
+	for s, r := range c.shard {
+		tr.Shard[s] = r.PerSecond()
+	}
+	for w, r := range c.worker {
+		tr.Worker[w] = r.PerSecond()
+	}
+	return tr
+}
+
+// Reset discards all observed rates (used between experiment phases).
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tenant = make(map[TenantID]*metrics.Rate)
+	c.shard = make(map[ShardID]*metrics.Rate)
+	c.worker = make(map[WorkerID]*metrics.Rate)
+}

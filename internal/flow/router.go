@@ -1,0 +1,77 @@
+package flow
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Router is the broker-side R/W router: it holds the latest routing
+// table pushed by the scheduler and picks a destination shard per
+// write, spreading a tenant's traffic across its routes by weight.
+// Reads consult the union of old and new plans (see Scheduler.ReadTable).
+type Router struct {
+	mu       sync.RWMutex
+	table    RouteTable
+	prev     RouteTable
+	fallback *ConsistentHash
+	rng      *rand.Rand
+}
+
+// NewRouter returns a router that falls back to consistent hashing for
+// tenants absent from the table.
+func NewRouter(shards []ShardID, seed int64) *Router {
+	return &Router{
+		table:    RouteTable{},
+		fallback: NewConsistentHash(shards, 0),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Update installs a new routing table (called by the scheduler's push;
+// the previous table is retained for read routing).
+func (r *Router) Update(rt RouteTable) {
+	r.mu.Lock()
+	r.prev = r.table
+	r.table = rt
+	r.mu.Unlock()
+}
+
+// Route picks the destination shard for one write of the tenant.
+func (r *Router) Route(t TenantID) ShardID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.table.PickShard(t, r.rng.Float64()); ok {
+		return s
+	}
+	return r.fallback.Owner(t)
+}
+
+// ReadShards returns every shard that may hold recent data of the
+// tenant: the union of current and previous plans plus the fallback
+// home shard.
+func (r *Router) ReadShards(t TenantID) []ShardID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	seen := map[ShardID]bool{}
+	for s := range r.table[t] {
+		seen[s] = true
+	}
+	for s := range r.prev[t] {
+		seen[s] = true
+	}
+	seen[r.fallback.Owner(t)] = true
+	out := make([]ShardID, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Table returns a copy of the active table.
+func (r *Router) Table() RouteTable {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.table.Clone()
+}

@@ -1,0 +1,193 @@
+package flow
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Algorithm selects the TrafficSchedule() implementation.
+type Algorithm int
+
+// Available balancing algorithms.
+const (
+	// AlgorithmNone disables rebalancing (the "Before Balancing"
+	// baseline in the evaluation).
+	AlgorithmNone Algorithm = iota
+	// AlgorithmGreedy is Algorithm 2.
+	AlgorithmGreedy
+	// AlgorithmMaxFlow is Algorithm 3.
+	AlgorithmMaxFlow
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmNone:
+		return "none"
+	case AlgorithmGreedy:
+		return "greedy"
+	case AlgorithmMaxFlow:
+		return "maxflow"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Action is the decision of one framework iteration.
+type Action int
+
+// Framework decisions (Algorithm 1).
+const (
+	// ActionNone: no hot shards detected.
+	ActionNone Action = iota
+	// ActionRebalanced: TrafficSchedule produced and installed a plan.
+	ActionRebalanced
+	// ActionScaleCluster: demand exceeds α-scaled capacity; workers
+	// must be added (line 25).
+	ActionScaleCluster
+)
+
+// Scheduler is the balancer+router pair of the hotspot manager: it owns
+// the authoritative routing table, runs the traffic-control framework
+// iteration, and pushes updates to subscribed routers (brokers).
+type Scheduler struct {
+	cfg  BalancerConfig
+	algo Algorithm
+
+	mu        sync.Mutex
+	topo      *Topology
+	table     RouteTable
+	prevTable RouteTable
+	listeners []func(RouteTable)
+}
+
+// NewScheduler builds a scheduler with an initial consistent-hash
+// placement for the given tenants.
+func NewScheduler(topo *Topology, tenants []TenantID, algo Algorithm, cfg BalancerConfig) (*Scheduler, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	rt := InitialRouteTable(tenants, topo.Shards())
+	return &Scheduler{cfg: cfg, algo: algo, topo: topo.Clone(), table: rt}, nil
+}
+
+// Subscribe registers a routing-table listener (a broker's router); it
+// is immediately called with the current table.
+func (s *Scheduler) Subscribe(fn func(RouteTable)) {
+	s.mu.Lock()
+	s.listeners = append(s.listeners, fn)
+	rt := s.table.Clone()
+	s.mu.Unlock()
+	fn(rt)
+}
+
+// Table returns a copy of the current routing table.
+func (s *Scheduler) Table() RouteTable {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.Clone()
+}
+
+// ReadTable returns the union of the current and previous tables: reads
+// must consult shards from both plans while data written under the old
+// plan is still resident there (paper §4.1.5).
+func (s *Scheduler) ReadTable() RouteTable {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	merged := s.table.Clone()
+	for t, shards := range s.prevTable {
+		dst, ok := merged[t]
+		if !ok {
+			merged[t] = shards
+			continue
+		}
+		for sh := range shards {
+			if _, ok := dst[sh]; !ok {
+				dst[sh] = 0 // read-only route: weight irrelevant
+			}
+		}
+	}
+	return merged
+}
+
+// Topology returns a copy of the scheduler's cluster view.
+func (s *Scheduler) Topology() *Topology {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.topo.Clone()
+}
+
+// SetTopology replaces the cluster view (after scaling).
+func (s *Scheduler) SetTopology(topo *Topology) error {
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.topo = topo.Clone()
+	s.mu.Unlock()
+	return nil
+}
+
+// EnsureTenant adds a consistent-hash route for a tenant first seen
+// after construction.
+func (s *Scheduler) EnsureTenant(t TenantID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.table[t]; ok {
+		return
+	}
+	ch := NewConsistentHash(s.topo.Shards(), 0)
+	s.table[t] = map[ShardID]float64{ch.Owner(t): 1.0}
+}
+
+// Rebalance runs one iteration of the Global Traffic Control Framework
+// (Algorithm 1, lines 9-28) against a traffic snapshot and returns the
+// action taken.
+func (s *Scheduler) Rebalance(tr *Traffic) Action {
+	s.mu.Lock()
+	topo := s.topo
+	cur := s.table
+	algo := s.algo
+	cfg := s.cfg
+	s.mu.Unlock()
+
+	if algo == AlgorithmNone {
+		return ActionNone
+	}
+	hot := HotShards(topo, tr, cfg)
+	if len(hot) == 0 {
+		return ActionNone
+	}
+	if ClusterOverloaded(topo, tr, cfg) {
+		return ActionScaleCluster
+	}
+
+	var next RouteTable
+	switch algo {
+	case AlgorithmGreedy:
+		next = GreedyBalance(topo, tr, cur, cfg)
+	case AlgorithmMaxFlow:
+		res := MaxFlowBalance(topo, tr, cur, cfg)
+		if !res.Satisfied {
+			return ActionScaleCluster
+		}
+		next = res.Table
+	}
+	s.install(next)
+	return ActionRebalanced
+}
+
+// install publishes a new table to every subscriber transactionally
+// (all routers see the same version).
+func (s *Scheduler) install(next RouteTable) {
+	s.mu.Lock()
+	s.prevTable = s.table
+	s.table = next
+	fns := make([]func(RouteTable), len(s.listeners))
+	copy(fns, s.listeners)
+	snapshot := next.Clone()
+	s.mu.Unlock()
+	for _, fn := range fns {
+		fn(snapshot)
+	}
+}

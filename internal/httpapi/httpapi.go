@@ -1,0 +1,184 @@
+// Package httpapi exposes a Cluster over HTTP — the protocol front end
+// standing in for the paper's SQL protocol + SLB. The logstore-server
+// command wires it to a listener; tests drive it with httptest.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"logstore"
+)
+
+// Record is the JSON wire form of one request_log row.
+type Record struct {
+	Tenant  int64  `json:"tenant"`
+	TS      int64  `json:"ts"` // ms; <= 0 means "now"
+	IP      string `json:"ip"`
+	API     string `json:"api"`
+	Latency int64  `json:"latency"`
+	Fail    string `json:"fail"`
+	Log     string `json:"log"`
+}
+
+// Row converts the record to a cluster row.
+func (r Record) Row(now int64) logstore.Row {
+	ts := r.TS
+	if ts <= 0 {
+		ts = now
+	}
+	return logstore.Row{
+		logstore.IntValue(r.Tenant),
+		logstore.IntValue(ts),
+		logstore.StringValue(r.IP),
+		logstore.StringValue(r.API),
+		logstore.IntValue(r.Latency),
+		logstore.StringValue(r.Fail),
+		logstore.StringValue(r.Log),
+	}
+}
+
+// QueryResponse is the JSON wire form of a query result.
+type QueryResponse struct {
+	Columns []string            `json:"columns"`
+	Rows    [][]string          `json:"rows,omitempty"`
+	Count   int64               `json:"count,omitempty"`
+	Groups  []map[string]string `json:"groups,omitempty"`
+	TookMS  float64             `json:"took_ms"`
+}
+
+// Handler returns the API's http.Handler over the cluster.
+func Handler(cluster *logstore.Cluster) http.Handler {
+	s := &server{cluster: cluster}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /append", s.handleAppend)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /tenants/{id}/usage", s.handleUsage)
+	mux.HandleFunc("GET /tenants/{id}/blocks", s.handleBlocks)
+	mux.HandleFunc("PUT /tenants/{id}/retention", s.handleRetention)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+type server struct {
+	cluster *logstore.Cluster
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.WriteHeader(code)
+	fmt.Fprintln(w, err.Error())
+}
+
+func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var recs []Record
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&recs); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	rows := make([]logstore.Row, len(recs))
+	now := time.Now().UnixMilli()
+	for i, rec := range recs {
+		rows[i] = rec.Row(now)
+	}
+	if err := s.cluster.Append(rows...); err != nil {
+		// Backpressure maps to 429 so clients know to slow down.
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "backpressure") {
+			code = http.StatusTooManyRequests
+		}
+		httpError(w, code, err)
+		return
+	}
+	fmt.Fprintf(w, `{"appended":%d}`+"\n", len(rows))
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sqlBytes, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	res, err := s.cluster.Query(string(sqlBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := QueryResponse{
+		Columns: res.Columns,
+		Count:   res.Count,
+		TookMS:  float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, row := range res.Rows {
+		out := make([]string, len(row))
+		for i, v := range row {
+			out[i] = v.String()
+		}
+		resp.Rows = append(resp.Rows, out)
+	}
+	for _, g := range res.Groups {
+		resp.Groups = append(resp.Groups, map[string]string{
+			"key":   g.Key.String(),
+			"count": strconv.FormatInt(g.Count, 10),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(&resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.cluster.Stats())
+}
+
+func tenantID(r *http.Request) (int64, error) {
+	return strconv.ParseInt(r.PathValue("id"), 10, 64)
+}
+
+func (s *server) handleUsage(w http.ResponseWriter, r *http.Request) {
+	id, err := tenantID(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rows, bytes := s.cluster.TenantUsage(id)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"tenant":%d,"rows":%d,"bytes":%d}`+"\n", id, rows, bytes)
+}
+
+func (s *server) handleBlocks(w http.ResponseWriter, r *http.Request) {
+	id, err := tenantID(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	blocks := s.cluster.TenantBlocks(id)
+	if blocks == nil {
+		blocks = []logstore.BlockInfo{}
+	}
+	_ = json.NewEncoder(w).Encode(blocks)
+}
+
+func (s *server) handleRetention(w http.ResponseWriter, r *http.Request) {
+	id, err := tenantID(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	hours, err := strconv.ParseFloat(r.URL.Query().Get("hours"), 64)
+	if err != nil || hours < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad hours parameter"))
+		return
+	}
+	s.cluster.SetRetention(id, time.Duration(hours*float64(time.Hour)))
+	fmt.Fprintf(w, `{"tenant":%d,"retention_hours":%g}`+"\n", id, hours)
+}

@@ -1,0 +1,240 @@
+// Package bkd implements the numeric-column index LogStore embeds in
+// LogBlocks (paper §3.2). The paper uses a BKD tree (Procopiuc et al.);
+// LogStore indexes scalar columns, and for one dimension a bulk-loaded
+// BKD tree degenerates into a value-sorted forest of leaf blocks with a
+// small in-memory routing level of per-leaf min/max keys — exactly what
+// this package builds.
+//
+// Construction is bulk-only (LogBlocks are immutable): sort (value,
+// rowID) pairs, pack them into fixed-size leaves, record each leaf's key
+// range. A range query binary-searches the routing level and scans only
+// leaves whose range intersects the predicate, returning a row-id set.
+package bkd
+
+import (
+	"fmt"
+	"sort"
+
+	"logstore/internal/bitutil"
+)
+
+// DefaultLeafSize is the number of entries per leaf block. 512 keeps the
+// routing level tiny while giving block-granular skipping inside the
+// index itself.
+const DefaultLeafSize = 512
+
+// Builder accumulates (value, rowID) pairs for one numeric column.
+type Builder struct {
+	vals     []int64
+	rows     []uint32
+	leafSize int
+}
+
+// NewBuilder returns a builder with the given leaf size (0 selects
+// DefaultLeafSize).
+func NewBuilder(leafSize int) *Builder {
+	if leafSize <= 0 {
+		leafSize = DefaultLeafSize
+	}
+	return &Builder{leafSize: leafSize}
+}
+
+// Add records the value of one row.
+func (b *Builder) Add(rowID uint32, v int64) {
+	b.vals = append(b.vals, v)
+	b.rows = append(b.rows, rowID)
+}
+
+// Len returns the number of entries added.
+func (b *Builder) Len() int { return len(b.vals) }
+
+// Build serializes the tree:
+//
+//	uvarint leafSize, uvarint entryCount, uvarint leafCount
+//	routing level: per leaf — varint minVal, varint maxVal, uvarint byteOffset
+//	leaves region: per leaf — uvarint n, delta-varint values, uvarint rowIDs
+func (b *Builder) Build() []byte {
+	n := len(b.vals)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		vi, vj := b.vals[idx[i]], b.vals[idx[j]]
+		if vi != vj {
+			return vi < vj
+		}
+		return b.rows[idx[i]] < b.rows[idx[j]]
+	})
+
+	nLeaves := (n + b.leafSize - 1) / b.leafSize
+
+	var leaves []byte
+	type leafMeta struct {
+		min, max int64
+		off      uint64
+	}
+	metas := make([]leafMeta, 0, nLeaves)
+	for l := 0; l < nLeaves; l++ {
+		start := l * b.leafSize
+		end := start + b.leafSize
+		if end > n {
+			end = n
+		}
+		m := leafMeta{
+			min: b.vals[idx[start]],
+			max: b.vals[idx[end-1]],
+			off: uint64(len(leaves)),
+		}
+		metas = append(metas, m)
+		leaves = bitutil.AppendUvarint(leaves, uint64(end-start))
+		prev := int64(0)
+		for i := start; i < end; i++ {
+			v := b.vals[idx[i]]
+			if i == start {
+				leaves = bitutil.AppendVarint(leaves, v)
+			} else {
+				leaves = bitutil.AppendVarint(leaves, v-prev)
+			}
+			prev = v
+		}
+		for i := start; i < end; i++ {
+			leaves = bitutil.AppendUvarint(leaves, uint64(b.rows[idx[i]]))
+		}
+	}
+
+	var out []byte
+	out = bitutil.AppendUvarint(out, uint64(b.leafSize))
+	out = bitutil.AppendUvarint(out, uint64(n))
+	out = bitutil.AppendUvarint(out, uint64(nLeaves))
+	for _, m := range metas {
+		out = bitutil.AppendVarint(out, m.min)
+		out = bitutil.AppendVarint(out, m.max)
+		out = bitutil.AppendUvarint(out, m.off)
+	}
+	return append(out, leaves...)
+}
+
+// Tree provides range lookups over a serialized BKD index.
+type Tree struct {
+	entryCount int
+	mins       []int64
+	maxs       []int64
+	offs       []int
+	leaves     []byte
+}
+
+// Open parses the routing level of a serialized tree. Leaf data is
+// decoded lazily per query.
+func Open(raw []byte) (*Tree, error) {
+	off := 0
+	_, n, err := bitutil.Uvarint(raw[off:]) // leafSize: informational
+	if err != nil {
+		return nil, fmt.Errorf("bkd: leaf size: %w", err)
+	}
+	off += n
+	entries, n, err := bitutil.Uvarint(raw[off:])
+	if err != nil {
+		return nil, fmt.Errorf("bkd: entry count: %w", err)
+	}
+	off += n
+	nLeaves, n, err := bitutil.Uvarint(raw[off:])
+	if err != nil {
+		return nil, fmt.Errorf("bkd: leaf count: %w", err)
+	}
+	off += n
+	if nLeaves > entries+1 {
+		return nil, fmt.Errorf("bkd: implausible leaf count %d for %d entries", nLeaves, entries)
+	}
+	t := &Tree{
+		entryCount: int(entries),
+		mins:       make([]int64, nLeaves),
+		maxs:       make([]int64, nLeaves),
+		offs:       make([]int, nLeaves),
+	}
+	for i := 0; i < int(nLeaves); i++ {
+		if t.mins[i], n, err = bitutil.Varint(raw[off:]); err != nil {
+			return nil, fmt.Errorf("bkd: leaf %d min: %w", i, err)
+		}
+		off += n
+		if t.maxs[i], n, err = bitutil.Varint(raw[off:]); err != nil {
+			return nil, fmt.Errorf("bkd: leaf %d max: %w", i, err)
+		}
+		off += n
+		o, n, err := bitutil.Uvarint(raw[off:])
+		if err != nil {
+			return nil, fmt.Errorf("bkd: leaf %d offset: %w", i, err)
+		}
+		off += n
+		t.offs[i] = int(o)
+	}
+	t.leaves = raw[off:]
+	for i, o := range t.offs {
+		if o > len(t.leaves) {
+			return nil, fmt.Errorf("bkd: leaf %d offset %d beyond leaf region (%d bytes)", i, o, len(t.leaves))
+		}
+	}
+	return t, nil
+}
+
+// Len returns the number of indexed entries.
+func (t *Tree) Len() int { return t.entryCount }
+
+// Leaves returns the number of leaf blocks.
+func (t *Tree) Leaves() int { return len(t.offs) }
+
+// Range collects the row ids of entries with lo <= value <= hi into a
+// bitset of size rowCount. The bounds are inclusive; use math.MinInt64 /
+// math.MaxInt64 for open ends.
+func (t *Tree) Range(lo, hi int64, rowCount int) (*bitutil.Bitset, error) {
+	bs := bitutil.NewBitset(rowCount)
+	if lo > hi || len(t.offs) == 0 {
+		return bs, nil
+	}
+	// Leaves are sorted by min value; find the first leaf whose max >= lo.
+	first := sort.Search(len(t.offs), func(i int) bool { return t.maxs[i] >= lo })
+	for li := first; li < len(t.offs); li++ {
+		if t.mins[li] > hi {
+			break // all later leaves start beyond the range
+		}
+		if err := t.scanLeaf(li, lo, hi, bs); err != nil {
+			return nil, err
+		}
+	}
+	return bs, nil
+}
+
+func (t *Tree) scanLeaf(li int, lo, hi int64, bs *bitutil.Bitset) error {
+	data := t.leaves[t.offs[li]:]
+	cnt, n, err := bitutil.Uvarint(data)
+	if err != nil {
+		return fmt.Errorf("bkd: leaf %d count: %w", li, err)
+	}
+	off := n
+	vals := make([]int64, cnt)
+	cur := int64(0)
+	for i := uint64(0); i < cnt; i++ {
+		d, n, err := bitutil.Varint(data[off:])
+		if err != nil {
+			return fmt.Errorf("bkd: leaf %d value %d: %w", li, i, err)
+		}
+		off += n
+		if i == 0 {
+			cur = d
+		} else {
+			cur += d
+		}
+		vals[i] = cur
+	}
+	for i := uint64(0); i < cnt; i++ {
+		r, n, err := bitutil.Uvarint(data[off:])
+		if err != nil {
+			return fmt.Errorf("bkd: leaf %d row %d: %w", li, i, err)
+		}
+		off += n
+		if vals[i] >= lo && vals[i] <= hi {
+			bs.Set(int(r))
+		}
+	}
+	return nil
+}

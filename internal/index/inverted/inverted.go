@@ -1,0 +1,278 @@
+// Package inverted implements the full-text inverted index LogStore
+// builds for every string column inside a LogBlock (paper §3.2: "we
+// support two types of indexes: the inverted index and BKD tree index,
+// corresponding to string type and numerical type respectively").
+//
+// Each row value is indexed twice: once as the raw value (a keyword
+// term, serving equality predicates like ip = '192.168.0.1') and once
+// tokenized (serving full-text MATCH queries over message columns). The
+// serialized form is a sorted term dictionary with delta-varint posting
+// lists, designed for binary-searchable lookups directly on the encoded
+// bytes so a cached index segment never needs full deserialization.
+package inverted
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+
+	"logstore/internal/bitutil"
+)
+
+// Tokenize splits text into lowercase alphanumeric terms. It is the
+// analyzer applied to every indexed string value.
+func Tokenize(text string) []string {
+	fields := strings.FieldsFunc(text, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	out := fields[:0]
+	for _, f := range fields {
+		out = append(out, strings.ToLower(f))
+	}
+	return out
+}
+
+// Builder accumulates term → row-id postings while a LogBlock column is
+// being built.
+type Builder struct {
+	postings map[string][]uint32
+	rows     int
+}
+
+// NewBuilder returns an empty index builder.
+func NewBuilder() *Builder {
+	return &Builder{postings: make(map[string][]uint32)}
+}
+
+// Add indexes one row's value: the raw value as a keyword term plus its
+// analyzed tokens. Rows must be added in ascending row-id order.
+func (b *Builder) Add(rowID uint32, value string) {
+	b.rows++
+	b.addTerm(strings.ToLower(value), rowID)
+	for _, tok := range Tokenize(value) {
+		if tok != strings.ToLower(value) {
+			b.addTerm(tok, rowID)
+		}
+	}
+}
+
+func (b *Builder) addTerm(term string, rowID uint32) {
+	if term == "" {
+		return
+	}
+	p := b.postings[term]
+	if len(p) > 0 && p[len(p)-1] == rowID {
+		return // duplicate within the same row
+	}
+	b.postings[term] = append(p, rowID)
+}
+
+// Terms returns the number of distinct terms accumulated.
+func (b *Builder) Terms() int { return len(b.postings) }
+
+// Build serializes the index:
+//
+//	u32 termCount
+//	u32 × termCount entry offsets (into the entries region)
+//	entries: len-prefixed term, uvarint postingCount, delta-uvarint ids
+func (b *Builder) Build() []byte {
+	terms := make([]string, 0, len(b.postings))
+	for t := range b.postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+
+	var entries []byte
+	offsets := make([]uint32, len(terms))
+	for i, t := range terms {
+		offsets[i] = uint32(len(entries))
+		entries = bitutil.AppendLenString(entries, t)
+		ids := b.postings[t]
+		entries = bitutil.AppendUvarint(entries, uint64(len(ids)))
+		prev := uint32(0)
+		for j, id := range ids {
+			if j == 0 {
+				entries = bitutil.AppendUvarint(entries, uint64(id))
+			} else {
+				entries = bitutil.AppendUvarint(entries, uint64(id-prev))
+			}
+			prev = id
+		}
+	}
+
+	out := make([]byte, 4+4*len(terms), 4+4*len(terms)+len(entries))
+	bitutil.PutUint32(out[0:4], uint32(len(terms)))
+	for i, off := range offsets {
+		bitutil.PutUint32(out[4+4*i:], off)
+	}
+	return append(out, entries...)
+}
+
+// Index provides lookups over a serialized inverted index without
+// deserializing the dictionary.
+type Index struct {
+	raw     []byte
+	n       int
+	entries []byte
+}
+
+// Open validates the framing of a serialized index and returns a reader.
+func Open(raw []byte) (*Index, error) {
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("inverted: index truncated: %d bytes", len(raw))
+	}
+	n := int(bitutil.Uint32(raw[0:4]))
+	hdr := 4 + 4*n
+	if n < 0 || len(raw) < hdr {
+		return nil, fmt.Errorf("inverted: offset table truncated: %d terms, %d bytes", n, len(raw))
+	}
+	return &Index{raw: raw, n: n, entries: raw[hdr:]}, nil
+}
+
+// TermCount returns the number of distinct terms.
+func (ix *Index) TermCount() int { return ix.n }
+
+// entryAt decodes the term at dictionary position i, returning the term
+// and the byte offset of its posting list within the entries region.
+func (ix *Index) entryAt(i int) (string, int, error) {
+	off := int(bitutil.Uint32(ix.raw[4+4*i:]))
+	if off > len(ix.entries) {
+		return "", 0, fmt.Errorf("inverted: entry %d offset %d out of range", i, off)
+	}
+	term, n, err := bitutil.LenString(ix.entries[off:])
+	if err != nil {
+		return "", 0, fmt.Errorf("inverted: entry %d term: %w", i, err)
+	}
+	return term, off + n, nil
+}
+
+// Lookup returns the sorted row ids whose value contains term (or whose
+// raw value equals it). A missing term yields an empty, non-nil slice.
+func (ix *Index) Lookup(term string) ([]uint32, error) {
+	term = strings.ToLower(term)
+	lo, hi := 0, ix.n-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		t, postOff, err := ix.entryAt(mid)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case t == term:
+			return ix.decodePostings(postOff)
+		case t < term:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return []uint32{}, nil
+}
+
+func (ix *Index) decodePostings(off int) ([]uint32, error) {
+	count, n, err := bitutil.Uvarint(ix.entries[off:])
+	if err != nil {
+		return nil, fmt.Errorf("inverted: posting count: %w", err)
+	}
+	off += n
+	if count > uint64(len(ix.entries)) {
+		return nil, fmt.Errorf("inverted: implausible posting count %d", count)
+	}
+	ids := make([]uint32, 0, count)
+	cur := uint32(0)
+	for i := uint64(0); i < count; i++ {
+		d, n, err := bitutil.Uvarint(ix.entries[off:])
+		if err != nil {
+			return nil, fmt.Errorf("inverted: posting %d: %w", i, err)
+		}
+		off += n
+		if i == 0 {
+			cur = uint32(d)
+		} else {
+			cur += uint32(d)
+		}
+		ids = append(ids, cur)
+	}
+	return ids, nil
+}
+
+// LookupPrefix returns the sorted, de-duplicated row ids of every term
+// with the given prefix (the dictionary is sorted, so this is one
+// binary search plus a contiguous scan).
+func (ix *Index) LookupPrefix(prefix string, rowCount int) (*bitutil.Bitset, error) {
+	prefix = strings.ToLower(prefix)
+	bs := bitutil.NewBitset(rowCount)
+	if prefix == "" {
+		return bs, nil
+	}
+	// Binary search for the first term >= prefix.
+	lo, hi := 0, ix.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t, _, err := ix.entryAt(mid)
+		if err != nil {
+			return nil, err
+		}
+		if t < prefix {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo; i < ix.n; i++ {
+		t, postOff, err := ix.entryAt(i)
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasPrefix(t, prefix) {
+			break
+		}
+		ids, err := ix.decodePostings(postOff)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			bs.Set(int(id))
+		}
+	}
+	return bs, nil
+}
+
+// LookupBitset returns the matching rows as a bitset sized to rowCount.
+func (ix *Index) LookupBitset(term string, rowCount int) (*bitutil.Bitset, error) {
+	ids, err := ix.Lookup(term)
+	if err != nil {
+		return nil, err
+	}
+	bs := bitutil.NewBitset(rowCount)
+	for _, id := range ids {
+		bs.Set(int(id))
+	}
+	return bs, nil
+}
+
+// LookupAll intersects the postings of every term (AND semantics), the
+// primitive behind multi-token MATCH queries.
+func (ix *Index) LookupAll(terms []string, rowCount int) (*bitutil.Bitset, error) {
+	if len(terms) == 0 {
+		bs := bitutil.NewBitset(rowCount)
+		bs.SetAll()
+		return bs, nil
+	}
+	acc, err := ix.LookupBitset(terms[0], rowCount)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range terms[1:] {
+		if !acc.Any() {
+			return acc, nil
+		}
+		next, err := ix.LookupBitset(t, rowCount)
+		if err != nil {
+			return nil, err
+		}
+		acc.And(next)
+	}
+	return acc, nil
+}

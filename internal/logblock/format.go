@@ -1,0 +1,145 @@
+// Package logblock implements LogStore's read-optimized columnar storage
+// unit (paper §3.2, Figure 4).
+//
+// A LogBlock holds one tenant's rows for a time range, as:
+//
+//  1. header       — table schema, row count, codec, block geometry
+//  2. column meta  — per-column SMA and index kind
+//  3. indexes      — inverted index (strings) or BKD tree (numerics)
+//  4. block header — per column-block row count and SMA
+//  5. column blocks — validity bitset + compressed values
+//
+// Following the paper's production experience, all parts are packaged
+// into a single tar file whose first member is a manifest mapping member
+// names to byte extents, so any part can be ranged out of object storage
+// without listing or downloading the whole object ("The header of the
+// tar file contains a manifest, allowing subsequent read operations to
+// seek and read any part of the tar file").
+//
+// Member names inside the tar:
+//
+//	manifest          extent table (first member)
+//	meta              parts 1, 2 and 4 of the structure above
+//	index/<col>       serialized index of column ordinal <col>
+//	data/<col>/<blk>  column block <blk> of column ordinal <col>
+package logblock
+
+import (
+	"fmt"
+
+	"logstore/internal/bitutil"
+)
+
+// Magic identifies the meta member of a LogBlock.
+const Magic = "LGBK1"
+
+// DefaultBlockRows is the number of rows per column block. Smaller
+// blocks skip more precisely but cost more per-block overhead.
+const DefaultBlockRows = 4096
+
+// MemberManifest and MemberMeta are the fixed member names.
+const (
+	MemberManifest = "manifest"
+	MemberMeta     = "meta"
+)
+
+// IndexMember returns the tar member name of column col's index.
+func IndexMember(col int) string { return fmt.Sprintf("index/%d", col) }
+
+// DataMember returns the tar member name of column col's block blk.
+func DataMember(col, blk int) string { return fmt.Sprintf("data/%d/%d", col, blk) }
+
+// Extent locates a member inside the packed tar object.
+type Extent struct {
+	Offset int64
+	Size   int64
+}
+
+// Manifest maps member names to extents. Serialized with fixed-width
+// offset/size fields so its encoded size is independent of the values,
+// letting the packer compute extents before writing.
+type Manifest struct {
+	Members map[string]Extent
+	order   []string
+}
+
+// NewManifest returns an empty manifest.
+func NewManifest() *Manifest {
+	return &Manifest{Members: make(map[string]Extent)}
+}
+
+// Add registers a member. Order of addition is preserved in encoding.
+func (m *Manifest) Add(name string, ext Extent) {
+	if _, ok := m.Members[name]; !ok {
+		m.order = append(m.order, name)
+	}
+	m.Members[name] = ext
+}
+
+// Names returns the member names in insertion order.
+func (m *Manifest) Names() []string {
+	out := make([]string, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Lookup returns the extent of a member.
+func (m *Manifest) Lookup(name string) (Extent, bool) {
+	e, ok := m.Members[name]
+	return e, ok
+}
+
+// EncodedSize returns the exact byte size Encode will produce for the
+// current member set (independent of offset/size values).
+func (m *Manifest) EncodedSize() int {
+	n := 4
+	for _, name := range m.order {
+		n += len(bitutil.AppendUvarint(nil, uint64(len(name)))) + len(name) + 16
+	}
+	return n
+}
+
+// Encode serializes the manifest: u32 count, then per member a
+// len-prefixed name, u64 offset, u64 size.
+func (m *Manifest) Encode() []byte {
+	out := make([]byte, 4, m.EncodedSize())
+	bitutil.PutUint32(out, uint32(len(m.order)))
+	for _, name := range m.order {
+		out = bitutil.AppendLenString(out, name)
+		var fixed [16]byte
+		ext := m.Members[name]
+		bitutil.PutUint64(fixed[0:8], uint64(ext.Offset))
+		bitutil.PutUint64(fixed[8:16], uint64(ext.Size))
+		out = append(out, fixed[:]...)
+	}
+	return out
+}
+
+// DecodeManifest reverses Encode.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("logblock: manifest truncated")
+	}
+	n := int(bitutil.Uint32(data[0:4]))
+	if n < 0 || n > 1<<24 {
+		return nil, fmt.Errorf("logblock: implausible manifest entry count %d", n)
+	}
+	m := NewManifest()
+	off := 4
+	for i := 0; i < n; i++ {
+		name, c, err := bitutil.LenString(data[off:])
+		if err != nil {
+			return nil, fmt.Errorf("logblock: manifest entry %d: %w", i, err)
+		}
+		off += c
+		if off+16 > len(data) {
+			return nil, fmt.Errorf("logblock: manifest entry %d extent truncated", i)
+		}
+		m.Add(name, Extent{
+			Offset: int64(bitutil.Uint64(data[off:])),
+			Size:   int64(bitutil.Uint64(data[off+8:])),
+		})
+		off += 16
+	}
+	return m, nil
+}

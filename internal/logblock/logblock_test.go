@@ -1,0 +1,465 @@
+package logblock
+
+import (
+	"archive/tar"
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"logstore/internal/compress"
+	"logstore/internal/schema"
+)
+
+func makeRows(t testing.TB, tenant int64, n int, seed int64) []schema.Row {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]schema.Row, n)
+	for i := range rows {
+		fail := "false"
+		if rng.Intn(10) == 0 {
+			fail = "true"
+		}
+		rows[i] = schema.Row{
+			schema.IntValue(tenant),
+			schema.IntValue(int64(1000 + i)),
+			schema.StringValue(fmt.Sprintf("192.168.0.%d", 1+rng.Intn(20))),
+			schema.StringValue(fmt.Sprintf("/api/v%d/query", rng.Intn(3))),
+			schema.IntValue(int64(1 + rng.Intn(500))),
+			schema.StringValue(fail),
+			schema.StringValue(fmt.Sprintf("request served code=%d attempt=%d", 200+rng.Intn(3)*100, i)),
+		}
+	}
+	return rows
+}
+
+func buildAndOpen(t testing.TB, rows []schema.Row, opts BuildOptions) *Reader {
+	t.Helper()
+	built, err := Build(schema.RequestLogSchema(), rows, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := built.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(BytesFetcher(packed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestBuildValidation(t *testing.T) {
+	sch := schema.RequestLogSchema()
+	if _, err := Build(sch, nil, BuildOptions{}); err == nil {
+		t.Error("empty rows should error")
+	}
+	// Mixed tenants must be rejected: one tenant per LogBlock.
+	rows := makeRows(t, 1, 4, 1)
+	rows[2][0] = schema.IntValue(2)
+	if _, err := Build(sch, rows, BuildOptions{}); err == nil {
+		t.Error("mixed tenants should error")
+	}
+	// Non-conforming row.
+	rows = makeRows(t, 1, 4, 1)
+	rows[1] = schema.Row{schema.IntValue(1)}
+	if _, err := Build(sch, rows, BuildOptions{}); err == nil {
+		t.Error("short row should error")
+	}
+	// Invalid schema.
+	bad := &schema.Schema{Name: "x"}
+	if _, err := Build(bad, makeRows(t, 1, 2, 1), BuildOptions{}); err == nil {
+		t.Error("invalid schema should error")
+	}
+}
+
+func TestMetaFields(t *testing.T) {
+	rows := makeRows(t, 42, 1000, 2)
+	r := buildAndOpen(t, rows, BuildOptions{BlockRows: 256})
+	m := r.Meta
+	if m.RowCount != 1000 {
+		t.Errorf("RowCount = %d", m.RowCount)
+	}
+	if m.Tenant != 42 {
+		t.Errorf("Tenant = %d", m.Tenant)
+	}
+	if m.MinTS != 1000 || m.MaxTS != 1999 {
+		t.Errorf("TS range = [%d, %d], want [1000, 1999]", m.MinTS, m.MaxTS)
+	}
+	if m.NumBlocks != 4 {
+		t.Errorf("NumBlocks = %d, want 4", m.NumBlocks)
+	}
+	if m.Codec != compress.Default {
+		t.Errorf("Codec = %v", m.Codec)
+	}
+	// Per-column SMA sanity: tenant column is constant.
+	tsma := m.Columns[0].SMA
+	if tsma.MinI != 42 || tsma.MaxI != 42 || tsma.Count != 1000 {
+		t.Errorf("tenant SMA = [%d, %d] count %d", tsma.MinI, tsma.MaxI, tsma.Count)
+	}
+	// Block row ranges.
+	if s, e := m.BlockRowRange(0); s != 0 || e != 256 {
+		t.Errorf("block 0 range [%d, %d)", s, e)
+	}
+	if s, e := m.BlockRowRange(3); s != 768 || e != 1000 {
+		t.Errorf("block 3 range [%d, %d)", s, e)
+	}
+}
+
+func TestRowsSortedByTime(t *testing.T) {
+	// Shuffle input; the builder must sort by ts.
+	rows := makeRows(t, 1, 500, 3)
+	rand.New(rand.NewSource(9)).Shuffle(len(rows), func(i, j int) {
+		rows[i], rows[j] = rows[j], rows[i]
+	})
+	r := buildAndOpen(t, rows, BuildOptions{BlockRows: 128})
+	tsCol := r.Meta.Schema.TimeIdx()
+	prev := int64(-1)
+	for bi := 0; bi < r.Meta.NumBlocks; bi++ {
+		vals, _, err := r.BlockValues(tsCol, bi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vals {
+			if v.I < prev {
+				t.Fatalf("timestamps not sorted: %d after %d", v.I, prev)
+			}
+			prev = v.I
+		}
+	}
+}
+
+func TestRoundTripAllColumns(t *testing.T) {
+	for _, codec := range []compress.Codec{compress.None, compress.LZ4, compress.Zstd} {
+		rows := makeRows(t, 7, 777, 4)
+		r := buildAndOpen(t, rows, BuildOptions{BlockRows: 100, Codec: codec})
+		// Reconstruct every row and compare against the (sorted) input.
+		// makeRows produces strictly increasing ts, so order is stable.
+		for i := 0; i < r.Meta.RowCount; i += 97 {
+			got, err := r.ReadRow(i)
+			if err != nil {
+				t.Fatalf("codec %v row %d: %v", codec, i, err)
+			}
+			for ci := range got {
+				if !got[ci].Equal(rows[i][ci]) {
+					t.Fatalf("codec %v row %d col %d: got %v, want %v",
+						codec, i, ci, got[ci], rows[i][ci])
+				}
+			}
+		}
+	}
+}
+
+func TestReadRowOutOfRange(t *testing.T) {
+	r := buildAndOpen(t, makeRows(t, 1, 10, 5), BuildOptions{})
+	if _, err := r.ReadRow(-1); err == nil {
+		t.Error("negative row should error")
+	}
+	if _, err := r.ReadRow(10); err == nil {
+		t.Error("row beyond count should error")
+	}
+}
+
+func TestIndexes(t *testing.T) {
+	rows := makeRows(t, 1, 2000, 6)
+	r := buildAndOpen(t, rows, BuildOptions{BlockRows: 512})
+	sch := r.Meta.Schema
+
+	// Inverted index on ip: equality via raw value term.
+	ipCol := sch.ColumnIndex("ip")
+	if !r.HasIndex(ipCol) {
+		t.Fatal("ip column should be indexed")
+	}
+	ix, err := r.InvertedIndex(ipCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := rows[0][ipCol].S
+	bs, err := ix.LookupBitset(probe, r.Meta.RowCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, row := range rows {
+		if row[ipCol].S == probe {
+			want++
+		}
+	}
+	if bs.Count() != want {
+		t.Errorf("ip=%s matched %d rows, want %d", probe, bs.Count(), want)
+	}
+
+	// BKD index on latency: range query.
+	latCol := sch.ColumnIndex("latency")
+	tree, err := r.BKDIndex(latCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tree.Range(100, 200, r.Meta.RowCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = 0
+	for _, row := range rows {
+		if l := row[latCol].I; l >= 100 && l <= 200 {
+			want++
+		}
+	}
+	if got.Count() != want {
+		t.Errorf("latency range matched %d, want %d", got.Count(), want)
+	}
+
+	// Wrong index type requests error.
+	if _, err := r.InvertedIndex(latCol); err == nil {
+		t.Error("InvertedIndex on numeric column should error")
+	}
+	if _, err := r.BKDIndex(ipCol); err == nil {
+		t.Error("BKDIndex on string column should error")
+	}
+}
+
+func TestNoIndexesOption(t *testing.T) {
+	rows := makeRows(t, 1, 100, 7)
+	built, err := Build(schema.RequestLogSchema(), rows, BuildOptions{NoIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range built.Meta.Columns {
+		if built.Meta.Columns[ci].Index != schema.IndexNone {
+			t.Errorf("column %d still has index kind %d", ci, built.Meta.Columns[ci].Index)
+		}
+		if _, ok := built.Members[IndexMember(ci)]; ok {
+			t.Errorf("column %d has an index member despite NoIndexes", ci)
+		}
+	}
+	// SMAs are still present for skipping.
+	if built.Meta.Columns[0].SMA.Count != 100 {
+		t.Error("SMA missing under NoIndexes")
+	}
+}
+
+func TestPackIsValidTarWithCorrectExtents(t *testing.T) {
+	rows := makeRows(t, 3, 300, 8)
+	built, err := Build(schema.RequestLogSchema(), rows, BuildOptions{BlockRows: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := built.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Walk the tar with the stdlib reader and confirm every manifest
+	// extent matches the actual member position and content.
+	tr := tar.NewReader(bytes.NewReader(packed))
+	var man *Manifest
+	seen := map[string]bool{}
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr.Name == MemberManifest {
+			man, err = DecodeManifest(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		seen[hdr.Name] = true
+		if man == nil {
+			t.Fatal("manifest must be the first member")
+		}
+		ext, ok := man.Lookup(hdr.Name)
+		if !ok {
+			t.Fatalf("member %s missing from manifest", hdr.Name)
+		}
+		if ext.Size != int64(len(data)) {
+			t.Fatalf("member %s size %d, manifest says %d", hdr.Name, len(data), ext.Size)
+		}
+		if !bytes.Equal(packed[ext.Offset:ext.Offset+ext.Size], data) {
+			t.Fatalf("member %s extent does not match tar content", hdr.Name)
+		}
+	}
+	for _, name := range man.Names() {
+		if !seen[name] {
+			t.Errorf("manifest lists %s but tar does not contain it", name)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest()
+	m.Add("meta", Extent{Offset: 512, Size: 99})
+	m.Add("data/0/0", Extent{Offset: 1024, Size: 4096})
+	m.Add("meta", Extent{Offset: 512, Size: 100}) // overwrite keeps order
+	raw := m.Encode()
+	if len(raw) != m.EncodedSize() {
+		t.Errorf("EncodedSize = %d, actual %d", m.EncodedSize(), len(raw))
+	}
+	got, err := DecodeManifest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := got.Names()
+	if len(names) != 2 || names[0] != "meta" || names[1] != "data/0/0" {
+		t.Errorf("Names = %v", names)
+	}
+	if e, _ := got.Lookup("meta"); e.Size != 100 {
+		t.Errorf("meta extent = %+v", e)
+	}
+	if _, ok := got.Lookup("missing"); ok {
+		t.Error("missing member should not resolve")
+	}
+}
+
+func TestManifestDecodeErrors(t *testing.T) {
+	if _, err := DecodeManifest(nil); err == nil {
+		t.Error("nil manifest should error")
+	}
+	m := NewManifest()
+	m.Add("x", Extent{1, 2})
+	raw := m.Encode()
+	for cut := 4; cut < len(raw); cut++ {
+		if _, err := DecodeManifest(raw[:cut]); err == nil {
+			t.Errorf("truncation to %d should error", cut)
+		}
+	}
+}
+
+func TestMetaRoundTripAndErrors(t *testing.T) {
+	rows := makeRows(t, 5, 200, 9)
+	built, err := Build(schema.RequestLogSchema(), rows, BuildOptions{BlockRows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := built.Meta.Encode()
+	got, err := DecodeMeta(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RowCount != 200 || got.NumBlocks != 4 || got.Tenant != 5 {
+		t.Errorf("meta round trip: %+v", got)
+	}
+	if len(got.Columns) != len(built.Meta.Columns) {
+		t.Fatalf("column count mismatch")
+	}
+	for ci := range got.Columns {
+		if got.Columns[ci].Index != built.Meta.Columns[ci].Index {
+			t.Errorf("column %d index kind mismatch", ci)
+		}
+		if len(got.Columns[ci].Blocks) != 4 {
+			t.Errorf("column %d block headers = %d", ci, len(got.Columns[ci].Blocks))
+		}
+	}
+	// Corruptions.
+	if _, err := DecodeMeta([]byte("WRONG")); err == nil {
+		t.Error("bad magic should error")
+	}
+	for cut := len(Magic); cut < len(raw); cut += 11 {
+		if _, err := DecodeMeta(raw[:cut]); err == nil {
+			t.Errorf("truncation to %d should error", cut)
+		}
+	}
+}
+
+func TestBytesFetcherBounds(t *testing.T) {
+	f := BytesFetcher([]byte("hello"))
+	if _, err := f.Fetch(-1, 2); err == nil {
+		t.Error("negative offset should error")
+	}
+	if _, err := f.Fetch(0, 10); err == nil {
+		t.Error("oversized read should error")
+	}
+	got, err := f.Fetch(1, 3)
+	if err != nil || string(got) != "ell" {
+		t.Errorf("Fetch = %q, %v", got, err)
+	}
+}
+
+func TestOpenReaderOnGarbage(t *testing.T) {
+	if _, err := OpenReader(BytesFetcher(nil)); err == nil {
+		t.Error("empty object should error")
+	}
+	if _, err := OpenReader(BytesFetcher(make([]byte, 2048))); err == nil {
+		t.Error("zeroed object should error")
+	}
+}
+
+func TestSingleRowBlock(t *testing.T) {
+	rows := makeRows(t, 9, 1, 10)
+	r := buildAndOpen(t, rows, BuildOptions{})
+	if r.Meta.RowCount != 1 || r.Meta.NumBlocks != 1 {
+		t.Fatalf("geometry: rows=%d blocks=%d", r.Meta.RowCount, r.Meta.NumBlocks)
+	}
+	got, err := r.ReadRow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Equal(rows[0][0]) {
+		t.Error("single-row round trip broken")
+	}
+}
+
+func TestCompressionReducesSize(t *testing.T) {
+	rows := makeRows(t, 1, 5000, 11)
+	rawBuilt, err := Build(schema.RequestLogSchema(), rows, BuildOptions{Codec: compress.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zBuilt, err := Build(schema.RequestLogSchema(), rows, BuildOptions{Codec: compress.Zstd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawPacked, _ := rawBuilt.Pack()
+	zPacked, _ := zBuilt.Pack()
+	if len(zPacked) >= len(rawPacked) {
+		t.Errorf("compressed LogBlock (%d) not smaller than raw (%d)", len(zPacked), len(rawPacked))
+	}
+}
+
+func BenchmarkBuildLogBlock(b *testing.B) {
+	rows := makeRows(b, 1, 10000, 1)
+	sch := schema.RequestLogSchema()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(sch, rows, BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPackLogBlock(b *testing.B) {
+	rows := makeRows(b, 1, 10000, 1)
+	built, err := Build(schema.RequestLogSchema(), rows, BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := built.Pack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpenReader(b *testing.B) {
+	rows := makeRows(b, 1, 10000, 1)
+	built, _ := Build(schema.RequestLogSchema(), rows, BuildOptions{})
+	packed, _ := built.Pack()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OpenReader(BytesFetcher(packed)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

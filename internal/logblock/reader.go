@@ -1,0 +1,289 @@
+package logblock
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"logstore/internal/bitutil"
+	"logstore/internal/compress"
+	"logstore/internal/index/bkd"
+	"logstore/internal/index/inverted"
+	"logstore/internal/schema"
+)
+
+// Fetcher reads byte ranges of a packed LogBlock object. Implementations
+// range directly against object storage, or through the block cache and
+// parallel prefetcher.
+type Fetcher interface {
+	// Fetch returns exactly size bytes starting at off.
+	Fetch(off, size int64) ([]byte, error)
+}
+
+// BytesFetcher adapts an in-memory object to the Fetcher interface.
+type BytesFetcher []byte
+
+// Fetch implements Fetcher.
+func (b BytesFetcher) Fetch(off, size int64) ([]byte, error) {
+	if off < 0 || size < 0 || off+size > int64(len(b)) {
+		return nil, fmt.Errorf("logblock: fetch [%d, %d) out of object of %d bytes", off, off+size, len(b))
+	}
+	out := make([]byte, size)
+	copy(out, b[off:off+size])
+	return out, nil
+}
+
+// parseTarSize extracts the payload size from a 512-byte tar header
+// (octal field at bytes 124..136).
+func parseTarSize(hdr []byte) (int64, error) {
+	if len(hdr) < 512 {
+		return 0, fmt.Errorf("logblock: tar header truncated: %d bytes", len(hdr))
+	}
+	field := strings.TrimRight(strings.TrimSpace(string(hdr[124:136])), "\x00")
+	field = strings.TrimSpace(field)
+	if field == "" {
+		return 0, fmt.Errorf("logblock: empty tar size field")
+	}
+	v, err := strconv.ParseInt(field, 8, 64)
+	if err != nil {
+		return 0, fmt.Errorf("logblock: tar size field %q: %w", field, err)
+	}
+	return v, nil
+}
+
+// Reader provides lazy member access over a packed LogBlock. Opening a
+// reader fetches only the manifest and the meta member; indexes and data
+// blocks are ranged on demand. Parsed index segments are memoized on
+// the reader (the paper's object memory cache: "metadata files, index
+// files, and hot data files" are repeatedly accessed during queries, so
+// decoded forms are kept, not just raw blocks).
+type Reader struct {
+	fetch    Fetcher
+	Manifest *Manifest
+	Meta     *Meta
+
+	mu       sync.Mutex
+	invCache map[int]*inverted.Index
+	bkdCache map[int]*bkd.Tree
+}
+
+// OpenReader reads the manifest (via the leading tar header) and the
+// meta member.
+func OpenReader(f Fetcher) (*Reader, error) {
+	hdr, err := f.Fetch(0, tarBlock)
+	if err != nil {
+		return nil, fmt.Errorf("logblock: read manifest header: %w", err)
+	}
+	msize, err := parseTarSize(hdr)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := f.Fetch(tarBlock, msize)
+	if err != nil {
+		return nil, fmt.Errorf("logblock: read manifest: %w", err)
+	}
+	man, err := DecodeManifest(raw)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{fetch: f, Manifest: man}
+	metaRaw, err := r.ReadMember(MemberMeta)
+	if err != nil {
+		return nil, err
+	}
+	if r.Meta, err = DecodeMeta(metaRaw); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ReadMember fetches a member's raw bytes by name.
+func (r *Reader) ReadMember(name string) ([]byte, error) {
+	ext, ok := r.Manifest.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("logblock: member %q not in manifest", name)
+	}
+	return r.fetch.Fetch(ext.Offset, ext.Size)
+}
+
+// HasIndex reports whether column col has a serialized index member.
+func (r *Reader) HasIndex(col int) bool {
+	_, ok := r.Manifest.Lookup(IndexMember(col))
+	return ok
+}
+
+// InvertedIndex loads and opens column col's inverted index, memoizing
+// the parsed segment for the reader's lifetime.
+func (r *Reader) InvertedIndex(col int) (*inverted.Index, error) {
+	if r.Meta.Columns[col].Index != schema.IndexInverted {
+		return nil, fmt.Errorf("logblock: column %d has no inverted index", col)
+	}
+	r.mu.Lock()
+	if ix, ok := r.invCache[col]; ok {
+		r.mu.Unlock()
+		return ix, nil
+	}
+	r.mu.Unlock()
+	raw, err := r.ReadMember(IndexMember(col))
+	if err != nil {
+		return nil, err
+	}
+	ix, err := inverted.Open(raw)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.invCache == nil {
+		r.invCache = make(map[int]*inverted.Index)
+	}
+	r.invCache[col] = ix
+	r.mu.Unlock()
+	return ix, nil
+}
+
+// BKDIndex loads and opens column col's BKD tree, memoizing the parsed
+// tree for the reader's lifetime.
+func (r *Reader) BKDIndex(col int) (*bkd.Tree, error) {
+	if r.Meta.Columns[col].Index != schema.IndexBKD {
+		return nil, fmt.Errorf("logblock: column %d has no BKD index", col)
+	}
+	r.mu.Lock()
+	if t, ok := r.bkdCache[col]; ok {
+		r.mu.Unlock()
+		return t, nil
+	}
+	r.mu.Unlock()
+	raw, err := r.ReadMember(IndexMember(col))
+	if err != nil {
+		return nil, err
+	}
+	t, err := bkd.Open(raw)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.bkdCache == nil {
+		r.bkdCache = make(map[int]*bkd.Tree)
+	}
+	r.bkdCache[col] = t
+	r.mu.Unlock()
+	return t, nil
+}
+
+// BlockValues fetches and decodes column col's block bi, returning the
+// values and the validity bitset (positions relative to the block).
+func (r *Reader) BlockValues(col, bi int) ([]schema.Value, *bitutil.Bitset, error) {
+	raw, err := r.ReadMember(DataMember(col, bi))
+	if err != nil {
+		return nil, nil, err
+	}
+	return DecodeBlockData(r.Meta, col, bi, raw)
+}
+
+// DecodeBlockData decodes one raw data member: len-prefixed validity
+// bitset, one encoding byte, then the codec-compressed value payload.
+func DecodeBlockData(m *Meta, col, bi int, raw []byte) ([]schema.Value, *bitutil.Bitset, error) {
+	bsRaw, n, err := bitutil.LenBytes(raw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("logblock: block %d/%d bitset: %w", col, bi, err)
+	}
+	valid, err := bitutil.BitsetFromBytes(bsRaw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("logblock: block %d/%d bitset: %w", col, bi, err)
+	}
+	if n >= len(raw) {
+		return nil, nil, fmt.Errorf("logblock: block %d/%d missing encoding byte", col, bi)
+	}
+	encoding := raw[n]
+	payload, err := compress.Decompress(m.Codec, raw[n+1:])
+	if err != nil {
+		return nil, nil, fmt.Errorf("logblock: block %d/%d payload: %w", col, bi, err)
+	}
+	rowCount := m.Columns[col].Blocks[bi].RowCount
+	typ := m.Schema.Columns[col].Type
+
+	if encoding == encodingDict {
+		if typ != schema.String {
+			return nil, nil, fmt.Errorf("logblock: block %d/%d dict-encoded non-string column", col, bi)
+		}
+		vals, err := decodeStringDict(payload, rowCount)
+		if err != nil {
+			return nil, nil, fmt.Errorf("logblock: block %d/%d: %w", col, bi, err)
+		}
+		return vals, valid, nil
+	}
+	if encoding != encodingPlain {
+		return nil, nil, fmt.Errorf("logblock: block %d/%d has unknown encoding %d", col, bi, encoding)
+	}
+	vals := make([]schema.Value, 0, rowCount)
+	off := 0
+	for i := 0; i < rowCount; i++ {
+		if typ == schema.Int64 {
+			v, n, err := bitutil.Varint(payload[off:])
+			if err != nil {
+				return nil, nil, fmt.Errorf("logblock: block %d/%d value %d: %w", col, bi, i, err)
+			}
+			off += n
+			vals = append(vals, schema.IntValue(v))
+		} else {
+			s, n, err := bitutil.LenString(payload[off:])
+			if err != nil {
+				return nil, nil, fmt.Errorf("logblock: block %d/%d value %d: %w", col, bi, i, err)
+			}
+			off += n
+			vals = append(vals, schema.StringValue(s))
+		}
+	}
+	if off != len(payload) {
+		return nil, nil, fmt.Errorf("logblock: block %d/%d has %d trailing bytes", col, bi, len(payload)-off)
+	}
+	return vals, valid, nil
+}
+
+// AllRows materializes the entire LogBlock, column block by column
+// block (each data member fetched exactly once). Used by compaction
+// and backfill jobs that rewrite whole blocks.
+func (r *Reader) AllRows() ([]schema.Row, error) {
+	m := r.Meta
+	rows := make([]schema.Row, m.RowCount)
+	for i := range rows {
+		rows[i] = make(schema.Row, len(m.Schema.Columns))
+	}
+	for ci := range m.Schema.Columns {
+		for bi := 0; bi < m.NumBlocks; bi++ {
+			vals, _, err := r.BlockValues(ci, bi)
+			if err != nil {
+				return nil, err
+			}
+			start, _ := m.BlockRowRange(bi)
+			for j, v := range vals {
+				rows[start+j][ci] = v
+			}
+		}
+	}
+	return rows, nil
+}
+
+// ReadRow materializes one full row by global row id, decoding the
+// owning block of every column. Intended for low-volume result
+// materialization; bulk scans should iterate blocks directly.
+func (r *Reader) ReadRow(rowID int) (schema.Row, error) {
+	if rowID < 0 || rowID >= r.Meta.RowCount {
+		return nil, fmt.Errorf("logblock: row %d out of range [0, %d)", rowID, r.Meta.RowCount)
+	}
+	bi := rowID / r.Meta.BlockRows
+	inBlock := rowID % r.Meta.BlockRows
+	row := make(schema.Row, len(r.Meta.Schema.Columns))
+	for ci := range r.Meta.Schema.Columns {
+		vals, _, err := r.BlockValues(ci, bi)
+		if err != nil {
+			return nil, err
+		}
+		if inBlock >= len(vals) {
+			return nil, fmt.Errorf("logblock: row %d beyond block %d of column %d", rowID, bi, ci)
+		}
+		row[ci] = vals[inBlock]
+	}
+	return row, nil
+}

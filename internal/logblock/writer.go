@@ -1,0 +1,247 @@
+package logblock
+
+import (
+	"archive/tar"
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"logstore/internal/bitutil"
+	"logstore/internal/compress"
+	"logstore/internal/index/bkd"
+	"logstore/internal/index/inverted"
+	"logstore/internal/index/sma"
+	"logstore/internal/schema"
+)
+
+// BuildOptions configures LogBlock construction.
+type BuildOptions struct {
+	// Codec is the block compression codec; the zero value selects the
+	// paper's default (ZSTD-class).
+	Codec compress.Codec
+	// BlockRows is the column-block size in rows (0 = DefaultBlockRows).
+	BlockRows int
+	// BKDLeafSize tunes the numeric index (0 = bkd.DefaultLeafSize).
+	BKDLeafSize int
+	// NoIndexes suppresses per-column index construction; SMA statistics
+	// are still produced. Used by the data-skipping ablation experiments.
+	NoIndexes bool
+}
+
+// Built is an in-memory LogBlock ready to pack: the decoded meta plus
+// every member's raw bytes.
+type Built struct {
+	Meta    *Meta
+	Members map[string][]byte
+}
+
+// Build converts rows (one tenant's slice of the row store) into a
+// LogBlock. Rows are sorted by the schema's time column; they must all
+// carry the same tenant id, since a LogBlock belongs to exactly one
+// tenant (paper §3.1).
+func Build(sch *schema.Schema, rows []schema.Row, opts BuildOptions) (*Built, error) {
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("logblock: cannot build an empty LogBlock")
+	}
+	if opts.Codec == compress.Unspecified {
+		opts.Codec = compress.Default
+	}
+	if opts.BlockRows <= 0 {
+		opts.BlockRows = DefaultBlockRows
+	}
+	tenantIdx, timeIdx := sch.TenantIdx(), sch.TimeIdx()
+	tenant := rows[0][tenantIdx].I
+	for i, r := range rows {
+		if err := r.Conforms(sch); err != nil {
+			return nil, fmt.Errorf("logblock: row %d: %w", i, err)
+		}
+		if r[tenantIdx].I != tenant {
+			return nil, fmt.Errorf("logblock: row %d tenant %d differs from %d (one tenant per LogBlock)",
+				i, r[tenantIdx].I, tenant)
+		}
+	}
+	sorted := make([]schema.Row, len(rows))
+	copy(sorted, rows)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i][timeIdx].I < sorted[j][timeIdx].I
+	})
+
+	numBlocks := (len(sorted) + opts.BlockRows - 1) / opts.BlockRows
+	m := &Meta{
+		Schema:    sch,
+		RowCount:  len(sorted),
+		Codec:     opts.Codec,
+		BlockRows: opts.BlockRows,
+		NumBlocks: numBlocks,
+		Columns:   make([]ColumnMeta, len(sch.Columns)),
+		Tenant:    tenant,
+		MinTS:     sorted[0][timeIdx].I,
+		MaxTS:     sorted[len(sorted)-1][timeIdx].I,
+	}
+	members := make(map[string][]byte)
+
+	for ci, col := range sch.Columns {
+		cm := ColumnMeta{
+			SMA:    sma.New(col.Type),
+			Index:  col.Index,
+			Blocks: make([]BlockHeader, numBlocks),
+		}
+		if opts.NoIndexes {
+			cm.Index = schema.IndexNone
+		}
+
+		var invB *inverted.Builder
+		var bkdB *bkd.Builder
+		switch cm.Index {
+		case schema.IndexInverted:
+			invB = inverted.NewBuilder()
+		case schema.IndexBKD:
+			bkdB = bkd.NewBuilder(opts.BKDLeafSize)
+		}
+
+		for bi := 0; bi < numBlocks; bi++ {
+			start, end := bi*opts.BlockRows, (bi+1)*opts.BlockRows
+			if end > len(sorted) {
+				end = len(sorted)
+			}
+			bh := BlockHeader{RowCount: end - start, SMA: sma.New(col.Type)}
+			valid := bitutil.NewBitset(end - start)
+			valid.SetAll()
+
+			var payload []byte
+			encoding := encodingPlain
+			if col.Type == schema.Int64 {
+				for i := start; i < end; i++ {
+					v := sorted[i][ci]
+					bh.SMA.Add(v)
+					payload = bitutil.AppendVarint(payload, v.I)
+					if bkdB != nil {
+						bkdB.Add(uint32(i), v.I)
+					}
+				}
+			} else {
+				for i := start; i < end; i++ {
+					v := sorted[i][ci]
+					bh.SMA.Add(v)
+					if invB != nil {
+						invB.Add(uint32(i), v.S)
+					}
+				}
+				encoding, payload = encodeStringBlock(sorted[start:end], ci)
+			}
+			cm.SMA.Merge(bh.SMA)
+			cm.Blocks[bi] = bh
+
+			comp, err := compress.Compress(opts.Codec, payload)
+			if err != nil {
+				return nil, fmt.Errorf("logblock: column %d block %d: %w", ci, bi, err)
+			}
+			member := bitutil.AppendLenBytes(nil, valid.Bytes())
+			member = append(member, encoding)
+			member = append(member, comp...)
+			members[DataMember(ci, bi)] = member
+		}
+
+		switch {
+		case invB != nil:
+			members[IndexMember(ci)] = invB.Build()
+		case bkdB != nil:
+			members[IndexMember(ci)] = bkdB.Build()
+		}
+		m.Columns[ci] = cm
+	}
+	members[MemberMeta] = m.Encode()
+	return &Built{Meta: m, Members: members}, nil
+}
+
+// memberOrder returns the members in their canonical tar order:
+// meta, indexes, then data blocks (the read path touches them in that
+// order, so sequential readers stream well).
+func (b *Built) memberOrder() []string {
+	names := []string{MemberMeta}
+	for ci := range b.Meta.Columns {
+		if _, ok := b.Members[IndexMember(ci)]; ok {
+			names = append(names, IndexMember(ci))
+		}
+	}
+	for ci := range b.Meta.Columns {
+		for bi := 0; bi < b.Meta.NumBlocks; bi++ {
+			names = append(names, DataMember(ci, bi))
+		}
+	}
+	return names
+}
+
+const tarBlock = 512
+
+func pad512(n int64) int64 {
+	if rem := n % tarBlock; rem != 0 {
+		return n + tarBlock - rem
+	}
+	return n
+}
+
+// Pack assembles the tar object: the manifest first, then every member.
+// Member extents in the manifest are absolute byte ranges into the
+// returned buffer, enabling ranged reads from object storage.
+func (b *Built) Pack() ([]byte, error) {
+	order := b.memberOrder()
+
+	// First pass: compute extents. The manifest has a fixed encoded size
+	// once its member set is known, so offsets can be computed up front.
+	man := NewManifest()
+	for _, name := range order {
+		man.Add(name, Extent{})
+	}
+	manSize := int64(man.EncodedSize())
+	off := int64(tarBlock) + pad512(manSize) // manifest header + payload
+	for _, name := range order {
+		size := int64(len(b.Members[name]))
+		man.Add(name, Extent{Offset: off + tarBlock, Size: size})
+		off += tarBlock + pad512(size)
+	}
+
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	write := func(name string, data []byte) error {
+		hdr := &tar.Header{
+			Name:    name,
+			Mode:    0o644,
+			Size:    int64(len(data)),
+			ModTime: time.Unix(0, 0),
+			Format:  tar.FormatUSTAR,
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return fmt.Errorf("logblock: tar header %s: %w", name, err)
+		}
+		if _, err := tw.Write(data); err != nil {
+			return fmt.Errorf("logblock: tar write %s: %w", name, err)
+		}
+		return nil
+	}
+	if err := write(MemberManifest, man.Encode()); err != nil {
+		return nil, err
+	}
+	for _, name := range order {
+		// Flush before checking offsets so buf.Len() reflects padding.
+		if err := tw.Flush(); err != nil {
+			return nil, fmt.Errorf("logblock: tar flush: %w", err)
+		}
+		want := man.Members[name].Offset - tarBlock
+		if int64(buf.Len()) != want {
+			return nil, fmt.Errorf("logblock: internal error: member %s at %d, manifest says %d",
+				name, buf.Len(), want)
+		}
+		if err := write(name, b.Members[name]); err != nil {
+			return nil, err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return nil, fmt.Errorf("logblock: tar close: %w", err)
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,241 @@
+// Package meta implements the controller's metadata manager (paper
+// §3.1): the per-tenant catalog of LogBlocks on object storage — the
+// "LogBlock map" keyed by <tenant, min_ts, max_ts> that query planning
+// prunes against (Figure 8, step 1) — plus per-tenant retention
+// policies driving the expiration tasks, and byte accounting for
+// billing. "The metadata manager in the controller will update the
+// information of each tenant, including the path, size and timestamp
+// range of the new LogBlocks."
+package meta
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BlockInfo is one LogBlock's catalog entry.
+type BlockInfo struct {
+	Tenant    int64  `json:"tenant"`
+	Path      string `json:"path"` // object-storage key
+	MinTS     int64  `json:"min_ts"`
+	MaxTS     int64  `json:"max_ts"`
+	Rows      int64  `json:"rows"`
+	Bytes     int64  `json:"bytes"`
+	CreatedMS int64  `json:"created_ms"`
+}
+
+// Manager is the metadata manager. Safe for concurrent use.
+type Manager struct {
+	mu        sync.RWMutex
+	blocks    map[int64][]BlockInfo // per tenant, sorted by MinTS
+	retention map[int64]time.Duration
+}
+
+// NewManager returns an empty catalog.
+func NewManager() *Manager {
+	return &Manager{
+		blocks:    make(map[int64][]BlockInfo),
+		retention: make(map[int64]time.Duration),
+	}
+}
+
+// Register adds (or replaces, by path) a LogBlock entry.
+func (m *Manager) Register(info BlockInfo) error {
+	if info.Path == "" {
+		return fmt.Errorf("meta: empty block path")
+	}
+	if info.MinTS > info.MaxTS {
+		return fmt.Errorf("meta: block %s has inverted time range [%d, %d]", info.Path, info.MinTS, info.MaxTS)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	list := m.blocks[info.Tenant]
+	for i := range list {
+		if list[i].Path == info.Path {
+			list[i] = info
+			m.sortLocked(info.Tenant)
+			return nil
+		}
+	}
+	m.blocks[info.Tenant] = append(list, info)
+	m.sortLocked(info.Tenant)
+	return nil
+}
+
+func (m *Manager) sortLocked(tenant int64) {
+	list := m.blocks[tenant]
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].MinTS != list[j].MinTS {
+			return list[i].MinTS < list[j].MinTS
+		}
+		return list[i].Path < list[j].Path
+	})
+}
+
+// Remove deletes a block entry by tenant and path; unknown paths are
+// ignored (idempotent, mirroring object deletion).
+func (m *Manager) Remove(tenant int64, path string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	list := m.blocks[tenant]
+	for i := range list {
+		if list[i].Path == path {
+			m.blocks[tenant] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(m.blocks[tenant]) == 0 {
+		delete(m.blocks, tenant)
+	}
+}
+
+// Blocks returns all catalog entries of a tenant, time-ordered.
+func (m *Manager) Blocks(tenant int64) []BlockInfo {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]BlockInfo, len(m.blocks[tenant]))
+	copy(out, m.blocks[tenant])
+	return out
+}
+
+// Prune returns the tenant's blocks overlapping [minTS, maxTS] — the
+// LogBlock-map filter of the data-skipping pipeline.
+func (m *Manager) Prune(tenant, minTS, maxTS int64) []BlockInfo {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []BlockInfo
+	for _, b := range m.blocks[tenant] {
+		if b.MaxTS < minTS || b.MinTS > maxTS {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Tenants returns all tenants with catalog entries, ascending.
+func (m *Manager) Tenants() []int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]int64, 0, len(m.blocks))
+	for t := range m.blocks {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Usage reports a tenant's archived rows and bytes (billing input).
+func (m *Manager) Usage(tenant int64) (rows, bytes int64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, b := range m.blocks[tenant] {
+		rows += b.Rows
+		bytes += b.Bytes
+	}
+	return
+}
+
+// SetRetention configures a tenant's data lifetime; zero or negative
+// means "keep forever". Different tenants legitimately differ: some
+// keep days for diagnosis, others keep years for compliance (paper §1).
+func (m *Manager) SetRetention(tenant int64, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d <= 0 {
+		delete(m.retention, tenant)
+		return
+	}
+	m.retention[tenant] = d
+}
+
+// Retention returns the tenant's configured lifetime (0 = forever).
+func (m *Manager) Retention(tenant int64) time.Duration {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.retention[tenant]
+}
+
+// Expired returns blocks whose entire time range has passed out of the
+// tenant's retention window at the given time. The task manager deletes
+// these from object storage and then calls Remove.
+func (m *Manager) Expired(nowMS int64) []BlockInfo {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []BlockInfo
+	for tenant, d := range m.retention {
+		cutoff := nowMS - d.Milliseconds()
+		for _, b := range m.blocks[tenant] {
+			if b.MaxTS < cutoff {
+				out = append(out, b)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tenant != out[j].Tenant {
+			return out[i].Tenant < out[j].Tenant
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// snapshot is the serialized catalog form.
+type snapshot struct {
+	Blocks      map[int64][]BlockInfo `json:"blocks"`
+	RetentionMS map[int64]int64       `json:"retention_ms"`
+}
+
+// Marshal serializes the whole catalog (for checkpointing to object
+// storage, so a controller restart can recover tenant metadata).
+func (m *Manager) Marshal() ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s := snapshot{
+		Blocks:      m.blocks,
+		RetentionMS: make(map[int64]int64, len(m.retention)),
+	}
+	for t, d := range m.retention {
+		s.RetentionMS[t] = d.Milliseconds()
+	}
+	return json.Marshal(&s)
+}
+
+// Unmarshal replaces the catalog with a serialized snapshot.
+func (m *Manager) Unmarshal(data []byte) error {
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("meta: decode snapshot: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blocks = s.Blocks
+	if m.blocks == nil {
+		m.blocks = make(map[int64][]BlockInfo)
+	}
+	m.retention = make(map[int64]time.Duration, len(s.RetentionMS))
+	for t, ms := range s.RetentionMS {
+		m.retention[t] = time.Duration(ms) * time.Millisecond
+	}
+	for t := range m.blocks {
+		m.sortLocked(t)
+	}
+	return nil
+}
+
+// BlockPath builds the canonical object key for a tenant's LogBlock:
+// one OSS "directory" per tenant (paper §3.1: "Each columnar table
+// corresponds to an OSS directory, which belongs to a tenant and
+// contains a series of LogBlocks stored in chronological order").
+func BlockPath(table string, tenant, minTS int64, seq uint64) string {
+	return fmt.Sprintf("%s/tenant-%d/logblock-%016d-%06d.tar", table, tenant, minTS, seq)
+}
+
+// TenantPrefix is the object-key prefix holding all of a tenant's
+// LogBlocks; deleting a tenant means deleting this prefix.
+func TenantPrefix(table string, tenant int64) string {
+	return fmt.Sprintf("%s/tenant-%d/", table, tenant)
+}

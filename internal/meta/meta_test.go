@@ -1,0 +1,236 @@
+package meta
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func info(tenant int64, path string, minTS, maxTS int64) BlockInfo {
+	return BlockInfo{
+		Tenant: tenant, Path: path, MinTS: minTS, MaxTS: maxTS,
+		Rows: 100, Bytes: 1 << 20, CreatedMS: maxTS,
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	m := NewManager()
+	if err := m.Register(BlockInfo{Tenant: 1, Path: "", MinTS: 0, MaxTS: 1}); err == nil {
+		t.Error("empty path accepted")
+	}
+	if err := m.Register(BlockInfo{Tenant: 1, Path: "p", MinTS: 10, MaxTS: 5}); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestRegisterSortedAndReplace(t *testing.T) {
+	m := NewManager()
+	for _, b := range []BlockInfo{
+		info(1, "b", 200, 299),
+		info(1, "a", 100, 199),
+		info(1, "c", 300, 399),
+	} {
+		if err := m.Register(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks := m.Blocks(1)
+	if len(blocks) != 3 || blocks[0].Path != "a" || blocks[2].Path != "c" {
+		t.Fatalf("blocks = %+v", blocks)
+	}
+	// Re-register same path updates in place.
+	upd := info(1, "b", 200, 299)
+	upd.Rows = 999
+	if err := m.Register(upd); err != nil {
+		t.Fatal(err)
+	}
+	blocks = m.Blocks(1)
+	if len(blocks) != 3 || blocks[1].Rows != 999 {
+		t.Fatalf("replace failed: %+v", blocks)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	m := NewManager()
+	for i := int64(0); i < 10; i++ {
+		if err := m.Register(info(1, BlockPath("t", 1, i*100, uint64(i)), i*100, i*100+99)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Range covering blocks 2..4 (inclusive overlap).
+	got := m.Prune(1, 250, 450)
+	if len(got) != 3 {
+		t.Fatalf("Prune returned %d blocks, want 3", len(got))
+	}
+	for _, b := range got {
+		if b.MaxTS < 250 || b.MinTS > 450 {
+			t.Errorf("non-overlapping block %s", b.Path)
+		}
+	}
+	// Tenant isolation: other tenants never appear.
+	if err := m.Register(info(2, "other", 0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range m.Prune(1, 0, 1000) {
+		if b.Tenant != 1 {
+			t.Error("prune leaked another tenant's block")
+		}
+	}
+	// Empty range / unknown tenant.
+	if got := m.Prune(1, 5000, 6000); len(got) != 0 {
+		t.Errorf("out-of-range prune = %v", got)
+	}
+	if got := m.Prune(99, 0, 1000); len(got) != 0 {
+		t.Errorf("unknown tenant prune = %v", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	m := NewManager()
+	if err := m.Register(info(1, "a", 0, 99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(info(1, "b", 100, 199)); err != nil {
+		t.Fatal(err)
+	}
+	m.Remove(1, "a")
+	if got := m.Blocks(1); len(got) != 1 || got[0].Path != "b" {
+		t.Fatalf("after remove: %+v", got)
+	}
+	m.Remove(1, "nonexistent") // idempotent
+	m.Remove(1, "b")
+	if got := m.Tenants(); len(got) != 0 {
+		t.Errorf("tenant with no blocks should vanish: %v", got)
+	}
+}
+
+func TestUsageAndTenants(t *testing.T) {
+	m := NewManager()
+	for i := 0; i < 3; i++ {
+		b := info(5, BlockPath("t", 5, int64(i*100), uint64(i)), int64(i*100), int64(i*100+99))
+		if err := m.Register(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, bytes := m.Usage(5)
+	if rows != 300 || bytes != 3<<20 {
+		t.Errorf("Usage = %d rows, %d bytes", rows, bytes)
+	}
+	if rows, bytes = m.Usage(99); rows != 0 || bytes != 0 {
+		t.Error("unknown tenant usage should be zero")
+	}
+	if ts := m.Tenants(); len(ts) != 1 || ts[0] != 5 {
+		t.Errorf("Tenants = %v", ts)
+	}
+}
+
+func TestRetentionAndExpiration(t *testing.T) {
+	m := NewManager()
+	// Tenant 1: keep 1 hour. Tenant 2: keep forever.
+	m.SetRetention(1, time.Hour)
+	for i := int64(0); i < 5; i++ {
+		if err := m.Register(info(1, BlockPath("t", 1, i*600_000, uint64(i)), i*600_000, i*600_000+599_999)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Register(info(2, BlockPath("t", 2, i*600_000, uint64(i)), i*600_000, i*600_000+599_999)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Retention(1); got != time.Hour {
+		t.Errorf("Retention = %v", got)
+	}
+	// Now = 2 hours: tenant 1 blocks fully older than now-1h expire.
+	nowMS := int64(2 * 3600_000)
+	expired := m.Expired(nowMS)
+	for _, b := range expired {
+		if b.Tenant != 1 {
+			t.Errorf("tenant %d expired despite no retention", b.Tenant)
+		}
+		if b.MaxTS >= nowMS-3600_000 {
+			t.Errorf("block %s not fully out of window", b.Path)
+		}
+	}
+	if len(expired) == 0 {
+		t.Fatal("nothing expired")
+	}
+	// Clearing retention stops expiration.
+	m.SetRetention(1, 0)
+	if got := m.Expired(nowMS); len(got) != 0 {
+		t.Errorf("after clearing retention: %d expired", len(got))
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	m := NewManager()
+	m.SetRetention(1, 48*time.Hour)
+	if err := m.Register(info(1, "a", 0, 99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(info(2, "b", 100, 199)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewManager()
+	if err := m2.Unmarshal(raw); err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Blocks(1)) != 1 || len(m2.Blocks(2)) != 1 {
+		t.Error("blocks lost in snapshot")
+	}
+	if m2.Retention(1) != 48*time.Hour {
+		t.Errorf("retention lost: %v", m2.Retention(1))
+	}
+	if err := m2.Unmarshal([]byte("{bad json")); err == nil {
+		t.Error("bad snapshot accepted")
+	}
+	// Empty snapshot yields a working manager.
+	m3 := NewManager()
+	if err := m3.Unmarshal([]byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m3.Register(info(9, "x", 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockPathLayout(t *testing.T) {
+	p := BlockPath("request_log", 42, 1000, 7)
+	if !strings.HasPrefix(p, TenantPrefix("request_log", 42)) {
+		t.Errorf("block path %q not under tenant prefix %q", p, TenantPrefix("request_log", 42))
+	}
+	if !strings.HasSuffix(p, ".tar") {
+		t.Errorf("block path %q should be a tar object", p)
+	}
+	// Chronological ordering: lexicographic order of paths follows ts.
+	p2 := BlockPath("request_log", 42, 2000, 8)
+	if !(p < p2) {
+		t.Error("paths must sort chronologically")
+	}
+}
+
+func TestManagerConcurrent(t *testing.T) {
+	m := NewManager()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tenant := int64(g % 4)
+				b := info(tenant, BlockPath("t", tenant, int64(i), uint64(g*1000+i)), int64(i), int64(i)+10)
+				if err := m.Register(b); err != nil {
+					t.Error(err)
+					return
+				}
+				m.Prune(tenant, 0, 100)
+				m.Usage(tenant)
+				m.Tenants()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

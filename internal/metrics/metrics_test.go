@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("Counter = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Errorf("Gauge = %d, want 42", g.Value())
+	}
+	if got := g.Add(-10); got != 32 {
+		t.Errorf("Add returned %d, want 32", got)
+	}
+}
+
+func TestRateWindow(t *testing.T) {
+	var fake time.Time = time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return fake
+	}
+	tick := func(d time.Duration) {
+		mu.Lock()
+		fake = fake.Add(d)
+		mu.Unlock()
+	}
+
+	r := NewRate(10, time.Second) // 10 second window
+	r.SetClock(clock)
+
+	// 100 events/sec for 5 seconds.
+	for i := 0; i < 5; i++ {
+		r.Add(100)
+		tick(time.Second)
+	}
+	// Window is 10s, 500 events inside => 50/s.
+	if got := r.PerSecond(); math.Abs(got-50) > 1e-9 {
+		t.Errorf("PerSecond = %v, want 50", got)
+	}
+	if got := r.Total(); got != 500 {
+		t.Errorf("Total = %d, want 500", got)
+	}
+
+	// Advance far past the window: everything expires.
+	tick(30 * time.Second)
+	if got := r.Total(); got != 0 {
+		t.Errorf("Total after expiry = %d, want 0", got)
+	}
+}
+
+func TestRatePartialExpiry(t *testing.T) {
+	var fake time.Time = time.Unix(0, 0)
+	clock := func() time.Time { return fake }
+	r := NewRate(4, time.Second)
+	r.SetClock(clock)
+
+	r.Add(10) // bucket 0
+	fake = fake.Add(time.Second)
+	r.Add(20) // bucket 1
+	fake = fake.Add(time.Second)
+	r.Add(30) // bucket 2
+	if got := r.Total(); got != 60 {
+		t.Fatalf("Total = %d, want 60", got)
+	}
+	// Advance to t=4: the 4-bucket window now covers [1,5), so the
+	// bucket holding the 10 events at t=0 rotates out.
+	fake = fake.Add(2 * time.Second)
+	if got := r.Total(); got != 50 {
+		t.Errorf("Total after partial expiry = %d, want 50", got)
+	}
+	// Advance to t=5: the 20 events at t=1 expire too.
+	fake = fake.Add(time.Second)
+	if got := r.Total(); got != 30 {
+		t.Errorf("Total after second expiry = %d, want 30", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 50.5", got)
+	}
+	if got := h.Min(); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Errorf("Max = %v, want 100", got)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-50.5) > 1 {
+		t.Errorf("p50 = %v, want ~50.5", got)
+	}
+	if got := h.Quantile(0.99); got < 98 || got > 100 {
+		t.Errorf("p99 = %v, want ~99", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("q1 = %v, want 100", got)
+	}
+	qs := h.Quantiles(0.25, 0.75)
+	if qs[0] >= qs[1] {
+		t.Errorf("Quantiles not ordered: %v", qs)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(16)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramReservoirBounded(t *testing.T) {
+	h := NewHistogram(128)
+	for i := 0; i < 10000; i++ {
+		h.Observe(float64(i % 1000))
+	}
+	if got := h.Count(); got != 10000 {
+		t.Fatalf("Count = %d", got)
+	}
+	h.mu.Lock()
+	n := len(h.samples)
+	h.mu.Unlock()
+	if n > 128 {
+		t.Errorf("retained %d samples, cap is 128", n)
+	}
+	// Quantiles should still be roughly sane for a uniform 0..999 stream.
+	if p50 := h.Quantile(0.5); p50 < 250 || p50 > 750 {
+		t.Errorf("reservoir p50 = %v, expected near 500", p50)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(16)
+	h.Observe(5)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Error("Reset should clear state")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if got := Stddev(nil); got != 0 {
+		t.Errorf("Stddev(nil) = %v", got)
+	}
+	if got := Stddev([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("Stddev(const) = %v", got)
+	}
+	// Population stddev of {2,4,4,4,5,5,7,9} is 2.
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(1024)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(float64(base + j))
+			}
+		}(i * 1000)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 4000 {
+		t.Errorf("Count = %d, want 4000", got)
+	}
+}

@@ -1,0 +1,112 @@
+package oss
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjected marks a fault-injected failure.
+var ErrInjected = errors.New("oss: injected fault")
+
+// FlakyStore wraps a Store and fails operations with a configurable
+// probability — the fault-injection harness for testing retry and
+// recovery behaviour (object stores throttle and error transiently in
+// production; callers must tolerate it).
+type FlakyStore struct {
+	inner Store
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	failPut  float64
+	failGet  float64
+	failures Stats
+}
+
+// NewFlakyStore wraps inner with independent failure probabilities for
+// writes (Put) and reads (Get/GetRange/Head/List).
+func NewFlakyStore(inner Store, failPut, failGet float64, seed int64) *FlakyStore {
+	return &FlakyStore{
+		inner:   inner,
+		rng:     rand.New(rand.NewSource(seed)),
+		failPut: failPut,
+		failGet: failGet,
+	}
+}
+
+// SetRates adjusts failure probabilities at runtime (e.g. heal the
+// store mid-test).
+func (s *FlakyStore) SetRates(failPut, failGet float64) {
+	s.mu.Lock()
+	s.failPut = failPut
+	s.failGet = failGet
+	s.mu.Unlock()
+}
+
+// InjectedFailures reports how many operations were failed.
+func (s *FlakyStore) InjectedFailures() int64 {
+	return s.failures.Puts.Value() + s.failures.Gets.Value()
+}
+
+func (s *FlakyStore) rollPut() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failPut > 0 && s.rng.Float64() < s.failPut
+}
+
+func (s *FlakyStore) rollGet() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failGet > 0 && s.rng.Float64() < s.failGet
+}
+
+// Put implements Store.
+func (s *FlakyStore) Put(key string, data []byte) error {
+	if s.rollPut() {
+		s.failures.Puts.Inc()
+		return ErrInjected
+	}
+	return s.inner.Put(key, data)
+}
+
+// Get implements Store.
+func (s *FlakyStore) Get(key string) ([]byte, error) {
+	if s.rollGet() {
+		s.failures.Gets.Inc()
+		return nil, ErrInjected
+	}
+	return s.inner.Get(key)
+}
+
+// GetRange implements Store.
+func (s *FlakyStore) GetRange(key string, off, size int64) ([]byte, error) {
+	if s.rollGet() {
+		s.failures.Gets.Inc()
+		return nil, ErrInjected
+	}
+	return s.inner.GetRange(key, off, size)
+}
+
+// Head implements Store.
+func (s *FlakyStore) Head(key string) (ObjectInfo, error) {
+	if s.rollGet() {
+		s.failures.Gets.Inc()
+		return ObjectInfo{}, ErrInjected
+	}
+	return s.inner.Head(key)
+}
+
+// List implements Store.
+func (s *FlakyStore) List(prefix string) ([]ObjectInfo, error) {
+	if s.rollGet() {
+		s.failures.Gets.Inc()
+		return nil, ErrInjected
+	}
+	return s.inner.List(prefix)
+}
+
+// Delete implements Store (never injected: deletes are retried by the
+// expiration task anyway).
+func (s *FlakyStore) Delete(key string) error {
+	return s.inner.Delete(key)
+}

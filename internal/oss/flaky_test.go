@@ -1,0 +1,74 @@
+package oss
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFlakyStorePassThrough(t *testing.T) {
+	s := NewFlakyStore(NewMemStore(), 0, 0, 1)
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get("k"); err != nil || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if _, err := s.GetRange("k", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Head("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.List(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if s.InjectedFailures() != 0 {
+		t.Errorf("injected = %d", s.InjectedFailures())
+	}
+}
+
+func TestFlakyStoreInjectsAtRate(t *testing.T) {
+	mem := NewMemStore()
+	if err := mem.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s := NewFlakyStore(mem, 0.5, 0.5, 7)
+	putFails, getFails := 0, 0
+	for i := 0; i < 1000; i++ {
+		if err := s.Put("k", []byte("v")); errors.Is(err, ErrInjected) {
+			putFails++
+		}
+		if _, err := s.Get("k"); errors.Is(err, ErrInjected) {
+			getFails++
+		}
+	}
+	for name, n := range map[string]int{"put": putFails, "get": getFails} {
+		if n < 350 || n > 650 {
+			t.Errorf("%s failures = %d/1000, want ~500", name, n)
+		}
+	}
+	if s.InjectedFailures() == 0 {
+		t.Error("failure counter not incremented")
+	}
+}
+
+func TestFlakyStoreHeal(t *testing.T) {
+	mem := NewMemStore()
+	s := NewFlakyStore(mem, 1.0, 1.0, 1)
+	if err := s.Put("k", []byte("v")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("always-fail Put = %v", err)
+	}
+	if _, err := s.Head("k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("always-fail Head = %v", err)
+	}
+	s.SetRates(0, 0)
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatalf("healed Put = %v", err)
+	}
+	if _, err := s.Get("k"); err != nil {
+		t.Fatalf("healed Get = %v", err)
+	}
+}

@@ -1,0 +1,69 @@
+// Package prefetch implements the parallel prefetch method from the
+// paper (§5.2, Figure 10): before loading, a requested byte range is
+// split by the block-alignment adapter into fixed-size file blocks;
+// missing blocks are fetched from object storage in parallel by a
+// bounded thread pool, duplicate in-flight block reads are merged, and
+// fetched blocks land in the multi-level block cache.
+package prefetch
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Service is the prefetch thread pool: a fixed set of workers draining
+// a task queue.
+type Service struct {
+	tasks  chan func()
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewService starts a pool with the given number of workers and queue
+// depth. workers <= 0 selects 1; queueDepth <= 0 selects workers*4.
+func NewService(workers, queueDepth int) *Service {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueDepth <= 0 {
+		queueDepth = workers * 4
+	}
+	s := &Service{tasks: make(chan func(), queueDepth)}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer s.wg.Done()
+			for fn := range s.tasks {
+				fn()
+			}
+		}()
+	}
+	return s
+}
+
+// Submit enqueues fn, blocking while the queue is full. It returns an
+// error after Close.
+func (s *Service) Submit(fn func()) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("prefetch: service closed")
+	}
+	s.mu.Unlock()
+	s.tasks <- fn
+	return nil
+}
+
+// Close drains the queue and stops the workers. Safe to call twice.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.tasks)
+	s.wg.Wait()
+}

@@ -1,0 +1,224 @@
+package prefetch
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"logstore/internal/cache"
+	"logstore/internal/oss"
+)
+
+func TestServiceRunsTasks(t *testing.T) {
+	s := NewService(4, 16)
+	defer s.Close()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if err := s.Submit(func() { n.Add(1); wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if n.Load() != 100 {
+		t.Errorf("ran %d tasks", n.Load())
+	}
+}
+
+func TestServiceCloseIdempotentAndRejects(t *testing.T) {
+	s := NewService(0, 0) // clamped to 1 worker
+	s.Close()
+	s.Close()
+	if err := s.Submit(func() {}); err == nil {
+		t.Error("Submit after Close should error")
+	}
+}
+
+func makeObject(t testing.TB, n int, seed int64) ([]byte, oss.Store) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, n)
+	rng.Read(data)
+	store := oss.NewMemStore()
+	if err := store.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	return data, store
+}
+
+func TestCachedFetcherCorrectness(t *testing.T) {
+	data, store := makeObject(t, 100000, 1)
+	bc, err := cache.NewBlockCache(cache.BlockCacheConfig{MemoryBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewService(8, 32)
+	defer pool.Close()
+	f := &CachedFetcher{Store: store, Key: "obj", Cache: bc, BlockSize: 1024, Pool: pool}
+
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		off := rng.Int63n(int64(len(data)))
+		size := rng.Int63n(int64(len(data)) - off)
+		got, err := f.Fetch(off, size)
+		if err != nil {
+			t.Fatalf("Fetch(%d, %d): %v", off, size, err)
+		}
+		if !bytes.Equal(got, data[off:off+size]) {
+			t.Fatalf("Fetch(%d, %d) content mismatch", off, size)
+		}
+	}
+}
+
+func TestCachedFetcherSerial(t *testing.T) {
+	data, store := makeObject(t, 50000, 3)
+	f := &CachedFetcher{Store: store, Key: "obj", BlockSize: 512} // no cache, no pool
+	got, err := f.Fetch(1000, 3000)
+	if err != nil || !bytes.Equal(got, data[1000:4000]) {
+		t.Fatalf("serial fetch broken: %v", err)
+	}
+}
+
+func TestCachedFetcherBounds(t *testing.T) {
+	_, store := makeObject(t, 1000, 4)
+	f := &CachedFetcher{Store: store, Key: "obj", BlockSize: 128}
+	if _, err := f.Fetch(-1, 10); err == nil {
+		t.Error("negative offset should error")
+	}
+	if _, err := f.Fetch(0, -1); err == nil {
+		t.Error("negative size should error")
+	}
+	if _, err := f.Fetch(990, 20); err == nil {
+		t.Error("beyond-object range should error")
+	}
+	got, err := f.Fetch(5, 0)
+	if err != nil || len(got) != 0 {
+		t.Errorf("zero-size fetch = %v, %v", got, err)
+	}
+	missing := &CachedFetcher{Store: store, Key: "nope", BlockSize: 128}
+	if _, err := missing.Fetch(0, 1); err == nil {
+		t.Error("missing object should error")
+	}
+}
+
+func TestCachedFetcherUsesCache(t *testing.T) {
+	_, mem := makeObject(t, 65536, 5)
+	counting := oss.NewCountingStore(mem, nil)
+	bc, err := cache.NewBlockCache(cache.BlockCacheConfig{MemoryBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &CachedFetcher{Store: counting, Key: "obj", Cache: bc, BlockSize: 4096}
+	if _, err := f.Fetch(0, 65536); err != nil {
+		t.Fatal(err)
+	}
+	cold := counting.Stats().RangeGets.Value()
+	if cold != 16 {
+		t.Errorf("cold read issued %d range gets, want 16", cold)
+	}
+	// Second read: everything cached, no new range gets.
+	if _, err := f.Fetch(0, 65536); err != nil {
+		t.Fatal(err)
+	}
+	if got := counting.Stats().RangeGets.Value(); got != cold {
+		t.Errorf("warm read issued %d extra range gets", got-cold)
+	}
+}
+
+func TestCachedFetcherMergesDuplicateLoads(t *testing.T) {
+	_, mem := makeObject(t, 8192, 6)
+	slow := oss.NewSimStore(mem, oss.LatencyModel{RequestLatency: 20 * time.Millisecond}, 1)
+	counting := oss.NewCountingStore(slow, nil)
+	bc, err := cache.NewBlockCache(cache.BlockCacheConfig{MemoryBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewService(8, 32)
+	defer pool.Close()
+	f := &CachedFetcher{Store: counting, Key: "obj", Cache: bc, BlockSize: 8192, Pool: pool}
+
+	// Many goroutines demand the same (single) block concurrently; the
+	// in-flight merge must collapse them into one ranged read.
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := f.Fetch(0, 8192); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := counting.Stats().RangeGets.Value(); got != 1 {
+		t.Errorf("%d range gets for one hot block, want 1 (merged)", got)
+	}
+}
+
+func TestParallelFasterThanSerial(t *testing.T) {
+	_, mem := makeObject(t, 64*1024, 7)
+	model := oss.LatencyModel{RequestLatency: 5 * time.Millisecond, MaxConcurrent: 32}
+	slow := oss.NewSimStore(mem, model, 1)
+
+	serial := &CachedFetcher{Store: slow, Key: "obj", BlockSize: 4096}
+	start := time.Now()
+	if _, err := serial.Fetch(0, 64*1024); err != nil {
+		t.Fatal(err)
+	}
+	serialTime := time.Since(start)
+
+	pool := NewService(16, 64)
+	defer pool.Close()
+	parallel := &CachedFetcher{Store: slow, Key: "obj", BlockSize: 4096, Pool: pool}
+	start = time.Now()
+	if _, err := parallel.Fetch(0, 64*1024); err != nil {
+		t.Fatal(err)
+	}
+	parallelTime := time.Since(start)
+
+	// 16 blocks at 5ms each: serial ~80ms, parallel ~1-2 rounds.
+	if parallelTime*3 > serialTime {
+		t.Errorf("parallel prefetch (%v) not decisively faster than serial (%v)", parallelTime, serialTime)
+	}
+}
+
+func TestFetchSpanningUnalignedEdges(t *testing.T) {
+	data, store := makeObject(t, 10240, 8)
+	f := &CachedFetcher{Store: store, Key: "obj", BlockSize: 1000}
+	// Range crossing three blocks with ragged edges.
+	got, err := f.Fetch(999, 1002)
+	if err != nil || !bytes.Equal(got, data[999:2001]) {
+		t.Fatalf("unaligned span broken: %v", err)
+	}
+	// Tail block shorter than BlockSize.
+	got, err = f.Fetch(10000, 240)
+	if err != nil || !bytes.Equal(got, data[10000:]) {
+		t.Fatalf("tail fetch broken: %v", err)
+	}
+}
+
+func BenchmarkCachedFetcherWarm(b *testing.B) {
+	data := make([]byte, 1<<20)
+	store := oss.NewMemStore()
+	if err := store.Put("obj", data); err != nil {
+		b.Fatal(err)
+	}
+	bc, err := cache.NewBlockCache(cache.BlockCacheConfig{MemoryBytes: 4 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &CachedFetcher{Store: store, Key: "obj", Cache: bc}
+	if _, err := f.Fetch(0, 1<<20); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Fetch(int64(i%512)*1024, 128<<10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

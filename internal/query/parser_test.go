@@ -1,0 +1,249 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"logstore/internal/index/sma"
+	"logstore/internal/schema"
+)
+
+func TestParsePaperTemplate(t *testing.T) {
+	sql := `SELECT log FROM request_log WHERE tenant_id = 12276
+		AND ts >= 1604995200000 AND ts <= 1604998800000
+		AND ip = '192.168.0.1' AND latency >= 100 AND fail = 'false'`
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Table != "request_log" || len(q.Select) != 1 || q.Select[0] != "log" {
+		t.Fatalf("projection: %+v", q)
+	}
+	if len(q.Preds) != 6 {
+		t.Fatalf("preds = %d", len(q.Preds))
+	}
+	if err := q.Validate(schema.RequestLogSchema()); err != nil {
+		t.Fatal(err)
+	}
+	tenant, minTS, maxTS, ok := q.KeyRange(schema.RequestLogSchema())
+	if !ok || tenant != 12276 || minTS != 1604995200000 || maxTS != 1604998800000 {
+		t.Fatalf("KeyRange = %d [%d, %d] %v", tenant, minTS, maxTS, ok)
+	}
+}
+
+func TestParseShapes(t *testing.T) {
+	cases := []string{
+		"SELECT * FROM request_log",
+		"SELECT COUNT(*) FROM request_log WHERE tenant_id = 1",
+		"SELECT ip, latency FROM request_log WHERE latency > 100",
+		"SELECT log FROM request_log WHERE log MATCH 'cache miss'",
+		"SELECT ip, COUNT(*) FROM request_log WHERE tenant_id = 1 GROUP BY ip ORDER BY count DESC LIMIT 10",
+		"SELECT COUNT(*) FROM request_log WHERE tenant_id = 1 GROUP BY api ORDER BY COUNT(*) DESC LIMIT 5",
+		"SELECT log FROM request_log WHERE latency != 5 AND fail <> 'true'",
+		"SELECT log FROM request_log WHERE ts >= -100 LIMIT 3",
+		"select log from request_log where IP = '10.0.0.1'",
+	}
+	for _, sql := range cases {
+		if _, err := Parse(sql); err != nil {
+			t.Errorf("Parse(%q): %v", sql, err)
+		}
+	}
+}
+
+func TestParseGroupBySelectForm(t *testing.T) {
+	// "SELECT ip, COUNT(*)" is normalized: the parser accepts the list
+	// form used in BI dashboards.
+	q, err := Parse("SELECT ip, COUNT(*) FROM request_log GROUP BY ip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.CountStar || q.GroupBy != "ip" {
+		t.Fatalf("q = %+v", q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"INSERT INTO x VALUES (1)",
+		"SELECT FROM request_log",
+		"SELECT log request_log",
+		"SELECT log FROM",
+		"SELECT log FROM request_log WHERE",
+		"SELECT log FROM request_log WHERE latency",
+		"SELECT log FROM request_log WHERE latency ==",
+		"SELECT log FROM request_log WHERE latency = ",
+		"SELECT log FROM request_log WHERE log MATCH 42",
+		"SELECT log FROM request_log WHERE log MATCH '...'",
+		"SELECT log FROM request_log WHERE ip = 'unterminated",
+		"SELECT log FROM request_log LIMIT 'x'",
+		"SELECT log FROM request_log LIMIT -1",
+		"SELECT log FROM request_log GROUP ip",
+		"SELECT log FROM request_log trailing garbage",
+		"SELECT log FROM request_log WHERE a = 1 AND",
+		"SELECT COUNT(* FROM request_log",
+		"SELECT log FROM request_log WHERE x = 1 ; DROP TABLE",
+	}
+	for _, sql := range cases {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseQuotedEscape(t *testing.T) {
+	q, err := Parse("SELECT log FROM request_log WHERE log = 'it''s fine'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Val.S != "it's fine" {
+		t.Errorf("escaped literal = %q", q.Preds[0].Val.S)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	sch := schema.RequestLogSchema()
+	cases := []string{
+		"SELECT log FROM wrong_table",
+		"SELECT missing FROM request_log",
+		"SELECT log FROM request_log WHERE missing = 1",
+		"SELECT log FROM request_log WHERE latency MATCH 'x'",
+		"SELECT log FROM request_log WHERE latency = 'str'",
+		"SELECT log FROM request_log WHERE ip = 5",
+		"SELECT COUNT(*) FROM request_log GROUP BY missing",
+		"SELECT ip FROM request_log GROUP BY ip",
+		"SELECT log FROM request_log ORDER BY missing",
+	}
+	for _, sql := range cases {
+		q, err := Parse(sql)
+		if err != nil {
+			// Some of these fail at parse; either is acceptable.
+			continue
+		}
+		if err := q.Validate(sch); err == nil {
+			t.Errorf("Validate(%q) should fail", sql)
+		}
+	}
+}
+
+func TestQueryStringRoundTrips(t *testing.T) {
+	sql := "SELECT log FROM request_log WHERE tenant_id = 1 AND ip = '10.0.0.1' AND log MATCH 'cache miss' ORDER BY ts DESC LIMIT 7"
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", q.String(), err)
+	}
+	if q2.String() != q.String() {
+		t.Errorf("unstable rendering:\n%s\n%s", q.String(), q2.String())
+	}
+}
+
+func TestKeyRangeVariants(t *testing.T) {
+	sch := schema.RequestLogSchema()
+	q, err := Parse("SELECT log FROM request_log WHERE tenant_id = 5 AND ts > 100 AND ts < 200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenant, lo, hi, ok := q.KeyRange(sch)
+	if !ok || tenant != 5 || lo != 101 || hi != 199 {
+		t.Errorf("strict bounds: %d [%d, %d] %v", tenant, lo, hi, ok)
+	}
+	// No tenant predicate.
+	q2, _ := Parse("SELECT log FROM request_log WHERE ts >= 10")
+	if _, _, _, ok := q2.KeyRange(sch); ok {
+		t.Error("missing tenant should report !ok")
+	}
+	// ts equality pins both bounds.
+	q3, _ := Parse("SELECT log FROM request_log WHERE tenant_id = 1 AND ts = 42")
+	_, lo, hi, _ = q3.KeyRange(sch)
+	if lo != 42 || hi != 42 {
+		t.Errorf("equality bounds [%d, %d]", lo, hi)
+	}
+}
+
+func TestPredEvalRow(t *testing.T) {
+	p := Pred{Col: "latency", Op: sma.GE, Val: schema.IntValue(100)}
+	if !p.EvalRow(schema.IntValue(100)) || !p.EvalRow(schema.IntValue(101)) || p.EvalRow(schema.IntValue(99)) {
+		t.Error("GE eval broken")
+	}
+	// Kind mismatch is simply false.
+	if p.EvalRow(schema.StringValue("100")) {
+		t.Error("kind mismatch should be false")
+	}
+	m := Pred{Col: "log", Match: true, Terms: []string{"cache", "miss"}}
+	if !m.EvalRow(schema.StringValue("L2 Cache MISS on shard 3")) {
+		t.Error("match should hit")
+	}
+	if m.EvalRow(schema.StringValue("cache hit")) {
+		t.Error("partial match should miss")
+	}
+	if m.EvalRow(schema.IntValue(1)) {
+		t.Error("match on int should miss")
+	}
+	// All comparison ops.
+	for _, tc := range []struct {
+		op   sma.Op
+		v    int64
+		want bool
+	}{
+		{sma.EQ, 5, true}, {sma.EQ, 6, false},
+		{sma.NE, 5, false}, {sma.NE, 6, true},
+		{sma.LT, 6, true}, {sma.LT, 5, false},
+		{sma.LE, 5, true}, {sma.LE, 4, false},
+		{sma.GT, 4, true}, {sma.GT, 5, false},
+		{sma.GE, 5, true}, {sma.GE, 6, false},
+	} {
+		p := Pred{Col: "x", Op: tc.op, Val: schema.IntValue(tc.v)}
+		if got := p.EvalRow(schema.IntValue(5)); got != tc.want {
+			t.Errorf("5 %v %d = %v, want %v", tc.op, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestPredString(t *testing.T) {
+	p := Pred{Col: "ip", Op: sma.EQ, Val: schema.StringValue("10.0.0.1")}
+	if !strings.Contains(p.String(), "'10.0.0.1'") {
+		t.Errorf("Pred.String = %q", p.String())
+	}
+	m := Pred{Col: "log", Match: true, Terms: []string{"a", "b"}}
+	if !strings.Contains(m.String(), "MATCH") {
+		t.Errorf("match Pred.String = %q", m.String())
+	}
+}
+
+func TestParseMatchPrefix(t *testing.T) {
+	q, err := Parse("SELECT log FROM request_log WHERE tenant_id = 1 AND log MATCH 'cache mis* err*'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := q.Preds[1]
+	if !p.Match || len(p.Terms) != 1 || p.Terms[0] != "cache" {
+		t.Fatalf("terms = %v", p.Terms)
+	}
+	if len(p.Prefixes) != 2 || p.Prefixes[0] != "mis" || p.Prefixes[1] != "err" {
+		t.Fatalf("prefixes = %v", p.Prefixes)
+	}
+	// Eval semantics.
+	if !p.EvalRow(schema.StringValue("ERRONEOUS cache MISfire")) {
+		t.Error("prefix match should hit")
+	}
+	if p.EvalRow(schema.StringValue("cache hit, no errors... wait err yes")) {
+		// "err" prefix matches "err"/"errors"; "mis" must fail.
+		t.Error("missing 'mis*' should miss")
+	}
+	// Renders and re-parses stably.
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", q.String(), err)
+	}
+	if q2.String() != q.String() {
+		t.Errorf("unstable: %q vs %q", q.String(), q2.String())
+	}
+	// A lone '*' is not a term.
+	if _, err := Parse("SELECT log FROM request_log WHERE log MATCH '*'"); err == nil {
+		t.Error("bare star accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"logstore/internal/schema"
+)
+
+// GroupCount is one GROUP BY bucket.
+type GroupCount struct {
+	Key   schema.Value
+	Count int64
+}
+
+// Result is a (partial or final) query result. Partial results from
+// shards and LogBlocks merge associatively; Finalize applies ordering
+// and limits once at the broker.
+type Result struct {
+	Columns []string
+	Rows    []schema.Row
+	Count   int64
+	Groups  []GroupCount
+	Stats   ExecStats
+}
+
+// NewResult returns an empty result shaped for the query.
+func NewResult(q *Query, sch *schema.Schema) *Result {
+	r := &Result{}
+	switch {
+	case q.CountStar && q.GroupBy != "":
+		r.Columns = []string{q.GroupBy, "count"}
+	case q.CountStar:
+		r.Columns = []string{"count"}
+	case q.Star:
+		for _, c := range sch.Columns {
+			r.Columns = append(r.Columns, c.Name)
+		}
+	default:
+		r.Columns = append(r.Columns, q.Select...)
+	}
+	return r
+}
+
+// AddRow folds one matched, projected row into the result according to
+// the query shape.
+func (r *Result) AddRow(q *Query, row schema.Row) {
+	switch {
+	case q.CountStar && q.GroupBy != "":
+		// Row is projected to [groupKey].
+		r.addGroup(row[0], 1)
+	case q.CountStar:
+		r.Count++
+	default:
+		r.Rows = append(r.Rows, row)
+	}
+}
+
+func (r *Result) addGroup(key schema.Value, n int64) {
+	for i := range r.Groups {
+		if r.Groups[i].Key.Equal(key) {
+			r.Groups[i].Count += n
+			return
+		}
+	}
+	r.Groups = append(r.Groups, GroupCount{Key: key, Count: n})
+}
+
+// Merge folds another partial result in.
+func (r *Result) Merge(o *Result) {
+	if o == nil {
+		return
+	}
+	if len(r.Columns) == 0 {
+		r.Columns = o.Columns
+	}
+	r.Rows = append(r.Rows, o.Rows...)
+	r.Count += o.Count
+	for _, g := range o.Groups {
+		r.addGroup(g.Key, g.Count)
+	}
+	r.Stats.Add(o.Stats)
+}
+
+// Finalize applies ORDER BY and LIMIT, producing the client-visible
+// result. Ordering supports "count" (for GROUP BY results) and any
+// selected column.
+func (r *Result) Finalize(q *Query) error {
+	if q.GroupBy != "" {
+		if q.OrderBy == "count" || q.OrderBy == "" {
+			sort.SliceStable(r.Groups, func(i, j int) bool {
+				if q.Desc {
+					return r.Groups[i].Count > r.Groups[j].Count
+				}
+				return r.Groups[i].Count < r.Groups[j].Count
+			})
+		} else if q.OrderBy == q.GroupBy {
+			sort.SliceStable(r.Groups, func(i, j int) bool {
+				c := r.Groups[i].Key.Compare(r.Groups[j].Key)
+				if q.Desc {
+					return c > 0
+				}
+				return c < 0
+			})
+		} else {
+			return fmt.Errorf("query: ORDER BY %q not available with GROUP BY %q", q.OrderBy, q.GroupBy)
+		}
+		if q.Limit > 0 && len(r.Groups) > q.Limit {
+			r.Groups = r.Groups[:q.Limit]
+		}
+		return nil
+	}
+	if q.OrderBy != "" && q.OrderBy != "count" {
+		pos := -1
+		for i, c := range r.Columns {
+			if c == q.OrderBy {
+				pos = i
+			}
+		}
+		if pos < 0 {
+			return fmt.Errorf("query: ORDER BY column %q not in projection", q.OrderBy)
+		}
+		sort.SliceStable(r.Rows, func(i, j int) bool {
+			c := r.Rows[i][pos].Compare(r.Rows[j][pos])
+			if q.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+	if q.Limit > 0 && len(r.Rows) > q.Limit {
+		r.Rows = r.Rows[:q.Limit]
+	}
+	return nil
+}

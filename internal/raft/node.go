@@ -1,0 +1,724 @@
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"logstore/internal/backpressure"
+)
+
+// Errors surfaced to proposers.
+var (
+	// ErrNotLeader is returned when proposing to a non-leader or when
+	// leadership is lost before commit.
+	ErrNotLeader = errors.New("raft: not the leader")
+	// ErrStopped is returned when the node shuts down mid-proposal.
+	ErrStopped = errors.New("raft: node stopped")
+	// ErrProposalTimeout is returned by ProposeWithTimeout when the
+	// deadline passes before commit. The proposal may still commit
+	// later (the outcome is ambiguous, as in any distributed write).
+	ErrProposalTimeout = errors.New("raft: proposal timed out")
+	// ErrBackpressure re-exports the BFC rejection for convenience.
+	ErrBackpressure = backpressure.ErrBackpressure
+)
+
+// Config configures a raft node.
+type Config struct {
+	ID        NodeID
+	Peers     []NodeID // all group members, including ID
+	Transport Transport
+	SM        StateMachine
+	Storage   Storage // nil = fresh MemoryStorage
+
+	// TickInterval is the wall-clock duration of one logical tick
+	// (0 = 10ms). Elections need ElectionTicks..2*ElectionTicks ticks
+	// of silence; leaders heartbeat every HeartbeatTicks.
+	TickInterval   time.Duration
+	ElectionTicks  int // 0 = 10
+	HeartbeatTicks int // 0 = 2
+
+	// BFC limits (paper §4.2): sync_queue bounds pending proposals,
+	// apply_queue bounds committed-but-unapplied entries. Zero values
+	// select defaults (4096 items / 64 MiB each).
+	SyncQueueItems  int
+	SyncQueueBytes  int64
+	ApplyQueueItems int
+	ApplyQueueBytes int64
+
+	// Seed randomizes election timeouts deterministically.
+	Seed int64
+}
+
+type proposal struct {
+	data []byte
+	done chan error
+}
+
+type pendingAck struct {
+	index uint64
+	done  chan error
+}
+
+// Node is one raft group member. All protocol state is owned by the run
+// goroutine; external callers interact through Propose, Step, Status,
+// and Stop.
+type Node struct {
+	cfg Config
+
+	inbox   chan Message
+	syncQ   *backpressure.Queue // *proposal
+	applyQ  *backpressure.Queue // Entry
+	propNtf chan struct{}
+	stopc   chan struct{}
+	donec   chan struct{}
+	applyWG sync.WaitGroup
+
+	// Protocol state (run goroutine only).
+	state        StateType
+	term         uint64
+	vote         NodeID
+	leader       NodeID
+	log          []Entry // log[i].Index == i+1
+	commitIndex  uint64
+	votesWon     map[NodeID]bool
+	nextIndex    map[NodeID]uint64
+	matchIndex   map[NodeID]uint64
+	pending      []pendingAck
+	stalledApply []Entry // committed entries awaiting apply_queue space
+
+	elapsed       int
+	electionLimit int
+	rng           *rand.Rand
+
+	// Status snapshot, updated by the run goroutine.
+	statusMu sync.Mutex
+	status   Status
+}
+
+// Status is an observable snapshot of a node.
+type Status struct {
+	ID          NodeID
+	State       StateType
+	Term        uint64
+	Leader      NodeID
+	CommitIndex uint64
+	LastIndex   uint64
+	SyncQueue   backpressure.Snapshot
+	ApplyQueue  backpressure.Snapshot
+}
+
+// NewNode constructs and starts a node.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("raft: nil transport")
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("raft: empty peer set")
+	}
+	found := false
+	for _, p := range cfg.Peers {
+		if p == cfg.ID {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("raft: node %d not in peer set %v", cfg.ID, cfg.Peers)
+	}
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = 10 * time.Millisecond
+	}
+	if cfg.ElectionTicks <= 0 {
+		cfg.ElectionTicks = 10
+	}
+	if cfg.HeartbeatTicks <= 0 {
+		cfg.HeartbeatTicks = 2
+	}
+	if cfg.SyncQueueItems <= 0 {
+		cfg.SyncQueueItems = 4096
+	}
+	if cfg.SyncQueueBytes <= 0 {
+		cfg.SyncQueueBytes = 64 << 20
+	}
+	if cfg.ApplyQueueItems <= 0 {
+		cfg.ApplyQueueItems = 4096
+	}
+	if cfg.ApplyQueueBytes <= 0 {
+		cfg.ApplyQueueBytes = 64 << 20
+	}
+	if cfg.Storage == nil {
+		cfg.Storage = NewMemoryStorage()
+	}
+
+	n := &Node{
+		cfg:     cfg,
+		inbox:   make(chan Message, 4096),
+		syncQ:   backpressure.NewQueue(fmt.Sprintf("raft-%d-sync", cfg.ID), cfg.SyncQueueItems, cfg.SyncQueueBytes),
+		applyQ:  backpressure.NewQueue(fmt.Sprintf("raft-%d-apply", cfg.ID), cfg.ApplyQueueItems, cfg.ApplyQueueBytes),
+		propNtf: make(chan struct{}, 1),
+		stopc:   make(chan struct{}),
+		donec:   make(chan struct{}),
+		vote:    None,
+		leader:  None,
+		rng:     rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID)*7919)),
+	}
+	n.term, n.vote = cfg.Storage.InitialState()
+	n.log = cfg.Storage.Entries()
+	n.resetElectionTimer()
+	n.updateStatus()
+
+	n.applyWG.Add(1)
+	go n.applyLoop()
+	go n.run()
+	return n, nil
+}
+
+// Stop shuts the node down and waits for its goroutines.
+func (n *Node) Stop() {
+	select {
+	case <-n.stopc:
+		return // already stopping
+	default:
+	}
+	close(n.stopc)
+	<-n.donec
+	n.applyQ.Close()
+	n.applyWG.Wait()
+}
+
+// Step injects a message from the transport.
+func (n *Node) Step(msg Message) {
+	select {
+	case n.inbox <- msg:
+	case <-n.stopc:
+	default:
+		// Inbox overflow: drop. Raft tolerates lossy delivery.
+	}
+}
+
+// Propose replicates data, blocking until commit, rejection, or
+// shutdown. The BFC sync_queue rejects immediately with
+// ErrBackpressure when full — that rejection is the paper's signal to
+// the client to slow down.
+func (n *Node) Propose(data []byte) error {
+	p := &proposal{data: data, done: make(chan error, 1)}
+	if err := n.syncQ.Push(p, int64(len(data))); err != nil {
+		return err
+	}
+	select {
+	case n.propNtf <- struct{}{}:
+	default:
+	}
+	select {
+	case err := <-p.done:
+		return err
+	case <-n.stopc:
+		return ErrStopped
+	}
+}
+
+// ProposeWithTimeout is Propose with a commit-wait deadline. On
+// ErrProposalTimeout the write's outcome is ambiguous: it may still
+// commit after the deadline.
+func (n *Node) ProposeWithTimeout(data []byte, d time.Duration) error {
+	p := &proposal{data: data, done: make(chan error, 1)}
+	if err := n.syncQ.Push(p, int64(len(data))); err != nil {
+		return err
+	}
+	select {
+	case n.propNtf <- struct{}{}:
+	default:
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case err := <-p.done:
+		return err
+	case <-timer.C:
+		return ErrProposalTimeout
+	case <-n.stopc:
+		return ErrStopped
+	}
+}
+
+// Status returns the latest snapshot.
+func (n *Node) Status() Status {
+	n.statusMu.Lock()
+	defer n.statusMu.Unlock()
+	s := n.status
+	s.SyncQueue = n.syncQ.Snapshot()
+	s.ApplyQueue = n.applyQ.Snapshot()
+	return s
+}
+
+// IsLeader reports whether the node currently believes it leads.
+func (n *Node) IsLeader() bool { return n.Status().State == StateLeader }
+
+func (n *Node) updateStatus() {
+	n.statusMu.Lock()
+	n.status = Status{
+		ID:          n.cfg.ID,
+		State:       n.state,
+		Term:        n.term,
+		Leader:      n.leader,
+		CommitIndex: n.commitIndex,
+		LastIndex:   n.lastIndex(),
+	}
+	n.statusMu.Unlock()
+}
+
+// ---- run loop ----
+
+func (n *Node) run() {
+	defer close(n.donec)
+	ticker := time.NewTicker(n.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopc:
+			n.failPending(ErrStopped)
+			return
+		case msg := <-n.inbox:
+			n.handle(msg)
+		case <-ticker.C:
+			n.tick()
+		case <-n.propNtf:
+			n.drainProposals()
+		}
+		n.updateStatus()
+	}
+}
+
+func (n *Node) applyLoop() {
+	defer n.applyWG.Done()
+	for {
+		v, ok := n.applyQ.Pop()
+		if !ok {
+			return
+		}
+		e := v.(Entry)
+		if n.cfg.SM != nil {
+			n.cfg.SM.Apply(e.Index, e.Data)
+		}
+	}
+}
+
+func (n *Node) resetElectionTimer() {
+	n.elapsed = 0
+	n.electionLimit = n.cfg.ElectionTicks + n.rng.Intn(n.cfg.ElectionTicks)
+}
+
+func (n *Node) tick() {
+	// Retry entries stalled on a full apply_queue before anything else:
+	// this is the BFC propagation point (apply pressure blocks commits
+	// from reaching the state machine, and ultimately stalls the
+	// sync_queue drain below).
+	n.flushStalledApply()
+	// Once the apply side recovered, resume draining proposals parked
+	// in the sync_queue — without this, proposers who enqueued while
+	// apply was congested would wait for a new Propose to re-trigger
+	// the drain and could block forever.
+	if n.state == StateLeader && len(n.stalledApply) == 0 && n.syncQ.Len() > 0 {
+		n.drainProposals()
+	}
+
+	n.elapsed++
+	switch n.state {
+	case StateLeader:
+		if n.elapsed >= n.cfg.HeartbeatTicks {
+			n.elapsed = 0
+			n.broadcastAppend()
+		}
+	default:
+		if n.elapsed >= n.electionLimit {
+			n.startElection()
+		}
+	}
+}
+
+func (n *Node) drainProposals() {
+	if n.state != StateLeader {
+		// Reject everything queued: only leaders replicate.
+		for {
+			v, ok := n.syncQ.TryPop()
+			if !ok {
+				return
+			}
+			v.(*proposal).done <- ErrNotLeader
+		}
+	}
+	// BFC: while the apply side is congested, leave proposals in the
+	// sync_queue so it fills and rejects new writes upstream.
+	if len(n.stalledApply) > 0 {
+		return
+	}
+	var added bool
+	for {
+		v, ok := n.syncQ.TryPop()
+		if !ok {
+			break
+		}
+		p := v.(*proposal)
+		e := Entry{Term: n.term, Index: n.lastIndex() + 1, Data: p.data}
+		n.appendEntries(e)
+		n.pending = append(n.pending, pendingAck{index: e.Index, done: p.done})
+		added = true
+	}
+	if added {
+		n.matchIndex[n.cfg.ID] = n.lastIndex()
+		n.broadcastAppend()
+		n.maybeCommit()
+	}
+}
+
+// ---- log helpers ----
+
+func (n *Node) lastIndex() uint64 { return uint64(len(n.log)) }
+
+func (n *Node) termAt(index uint64) uint64 {
+	if index == 0 || index > uint64(len(n.log)) {
+		return 0
+	}
+	return n.log[index-1].Term
+}
+
+func (n *Node) entriesFrom(index uint64, limit int) []Entry {
+	if index > uint64(len(n.log)) {
+		return nil
+	}
+	out := n.log[index-1:]
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	cp := make([]Entry, len(out))
+	copy(cp, out)
+	return cp
+}
+
+func (n *Node) appendEntries(entries ...Entry) {
+	n.log = append(n.log, entries...)
+	n.cfg.Storage.Append(entries)
+}
+
+func (n *Node) truncateFrom(index uint64) {
+	if index <= uint64(len(n.log)) {
+		n.log = n.log[:index-1]
+		n.cfg.Storage.TruncateFrom(index)
+	}
+}
+
+func (n *Node) persistState() {
+	n.cfg.Storage.SetState(n.term, n.vote)
+}
+
+// ---- elections ----
+
+func (n *Node) startElection() {
+	n.state = StateCandidate
+	n.term++
+	n.vote = n.cfg.ID
+	n.leader = None
+	n.persistState()
+	n.votesWon = map[NodeID]bool{n.cfg.ID: true}
+	n.resetElectionTimer()
+	if n.tallyVotes() {
+		n.becomeLeader()
+		return
+	}
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		n.cfg.Transport.Send(Message{
+			Type:         MsgVoteRequest,
+			From:         n.cfg.ID,
+			To:           p,
+			Term:         n.term,
+			LastLogIndex: n.lastIndex(),
+			LastLogTerm:  n.termAt(n.lastIndex()),
+		})
+	}
+}
+
+func (n *Node) tallyVotes() bool {
+	granted := 0
+	for _, ok := range n.votesWon {
+		if ok {
+			granted++
+		}
+	}
+	return granted*2 > len(n.cfg.Peers)
+}
+
+func (n *Node) becomeLeader() {
+	n.state = StateLeader
+	n.leader = n.cfg.ID
+	n.nextIndex = make(map[NodeID]uint64, len(n.cfg.Peers))
+	n.matchIndex = make(map[NodeID]uint64, len(n.cfg.Peers))
+	for _, p := range n.cfg.Peers {
+		n.nextIndex[p] = n.lastIndex() + 1
+		n.matchIndex[p] = 0
+	}
+	// Append a no-op entry for the new term: Raft's commit rule only
+	// counts replicas for current-term entries, so without this a
+	// quiet leader would never commit (and apply) entries carried over
+	// from previous terms — e.g. after a full-cluster restart. No-op
+	// entries (empty Data) are skipped on the apply path.
+	n.appendEntries(Entry{Term: n.term, Index: n.lastIndex() + 1})
+	n.matchIndex[n.cfg.ID] = n.lastIndex()
+	n.elapsed = 0
+	n.broadcastAppend()
+	// Proposals may be waiting from before we won.
+	n.drainProposals()
+}
+
+func (n *Node) becomeFollower(term uint64, leader NodeID) {
+	stateChanged := n.state != StateFollower || term != n.term
+	n.state = StateFollower
+	if term > n.term {
+		n.term = term
+		n.vote = None
+		n.persistState()
+	}
+	n.leader = leader
+	if stateChanged {
+		n.resetElectionTimer()
+		n.failPending(ErrNotLeader)
+	}
+}
+
+func (n *Node) failPending(err error) {
+	for _, p := range n.pending {
+		p.done <- err
+	}
+	n.pending = nil
+	// Also bounce queued-but-undrained proposals.
+	for {
+		v, ok := n.syncQ.TryPop()
+		if !ok {
+			break
+		}
+		v.(*proposal).done <- err
+	}
+}
+
+// ---- replication ----
+
+const maxEntriesPerAppend = 512
+
+func (n *Node) broadcastAppend() {
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		n.sendAppend(p)
+	}
+}
+
+func (n *Node) sendAppend(to NodeID) {
+	next := n.nextIndex[to]
+	if next == 0 {
+		next = 1
+	}
+	prev := next - 1
+	n.cfg.Transport.Send(Message{
+		Type:         MsgAppendRequest,
+		From:         n.cfg.ID,
+		To:           to,
+		Term:         n.term,
+		PrevLogIndex: prev,
+		PrevLogTerm:  n.termAt(prev),
+		Entries:      n.entriesFrom(next, maxEntriesPerAppend),
+		LeaderCommit: n.commitIndex,
+	})
+}
+
+func (n *Node) handle(msg Message) {
+	if msg.Term > n.term {
+		lead := None
+		if msg.Type == MsgAppendRequest {
+			lead = msg.From
+		}
+		n.becomeFollower(msg.Term, lead)
+	}
+	switch msg.Type {
+	case MsgVoteRequest:
+		n.handleVoteRequest(msg)
+	case MsgVoteResponse:
+		n.handleVoteResponse(msg)
+	case MsgAppendRequest:
+		n.handleAppendRequest(msg)
+	case MsgAppendResponse:
+		n.handleAppendResponse(msg)
+	}
+}
+
+func (n *Node) handleVoteRequest(msg Message) {
+	grant := false
+	if msg.Term >= n.term && (n.vote == None || n.vote == msg.From) {
+		// Election restriction: candidate's log must be at least as
+		// up-to-date as ours.
+		lastTerm := n.termAt(n.lastIndex())
+		upToDate := msg.LastLogTerm > lastTerm ||
+			(msg.LastLogTerm == lastTerm && msg.LastLogIndex >= n.lastIndex())
+		if upToDate {
+			grant = true
+			n.vote = msg.From
+			n.persistState()
+			n.resetElectionTimer()
+		}
+	}
+	n.cfg.Transport.Send(Message{
+		Type:        MsgVoteResponse,
+		From:        n.cfg.ID,
+		To:          msg.From,
+		Term:        n.term,
+		VoteGranted: grant,
+	})
+}
+
+func (n *Node) handleVoteResponse(msg Message) {
+	if n.state != StateCandidate || msg.Term != n.term {
+		return
+	}
+	n.votesWon[msg.From] = msg.VoteGranted
+	if n.tallyVotes() {
+		n.becomeLeader()
+	}
+}
+
+func (n *Node) handleAppendRequest(msg Message) {
+	if msg.Term < n.term {
+		n.cfg.Transport.Send(Message{
+			Type: MsgAppendResponse, From: n.cfg.ID, To: msg.From,
+			Term: n.term, Success: false, RejectHint: n.lastIndex(),
+		})
+		return
+	}
+	n.becomeFollower(msg.Term, msg.From)
+	n.elapsed = 0
+
+	// Log-matching check.
+	if msg.PrevLogIndex > n.lastIndex() || n.termAt(msg.PrevLogIndex) != msg.PrevLogTerm {
+		n.cfg.Transport.Send(Message{
+			Type: MsgAppendResponse, From: n.cfg.ID, To: msg.From,
+			Term: n.term, Success: false, RejectHint: n.lastIndex(),
+		})
+		return
+	}
+	// Append, resolving conflicts.
+	for i, e := range msg.Entries {
+		if e.Index <= n.lastIndex() {
+			if n.termAt(e.Index) == e.Term {
+				continue // already have it
+			}
+			n.truncateFrom(e.Index)
+		}
+		n.appendEntries(msg.Entries[i:]...)
+		break
+	}
+	match := msg.PrevLogIndex + uint64(len(msg.Entries))
+	if msg.LeaderCommit > n.commitIndex {
+		limit := msg.LeaderCommit
+		if match < limit {
+			limit = match
+		}
+		n.advanceCommit(limit)
+	}
+	n.cfg.Transport.Send(Message{
+		Type: MsgAppendResponse, From: n.cfg.ID, To: msg.From,
+		Term: n.term, Success: true, MatchIndex: match,
+	})
+}
+
+func (n *Node) handleAppendResponse(msg Message) {
+	if n.state != StateLeader || msg.Term != n.term {
+		return
+	}
+	if msg.Success {
+		if msg.MatchIndex > n.matchIndex[msg.From] {
+			n.matchIndex[msg.From] = msg.MatchIndex
+		}
+		n.nextIndex[msg.From] = n.matchIndex[msg.From] + 1
+		n.maybeCommit()
+		// Keep pushing if the follower is behind.
+		if n.nextIndex[msg.From] <= n.lastIndex() {
+			n.sendAppend(msg.From)
+		}
+	} else {
+		// Repair: back off nextIndex using the follower's hint.
+		next := n.nextIndex[msg.From]
+		if msg.RejectHint+1 < next {
+			next = msg.RejectHint + 1
+		} else if next > 1 {
+			next--
+		}
+		if next < 1 {
+			next = 1
+		}
+		n.nextIndex[msg.From] = next
+		n.sendAppend(msg.From)
+	}
+}
+
+func (n *Node) maybeCommit() {
+	// Find the highest index replicated on a majority with an entry
+	// from the current term (Raft's commit rule).
+	for idx := n.lastIndex(); idx > n.commitIndex; idx-- {
+		if n.termAt(idx) != n.term {
+			break
+		}
+		count := 0
+		for _, p := range n.cfg.Peers {
+			if n.matchIndex[p] >= idx {
+				count++
+			}
+		}
+		if count*2 > len(n.cfg.Peers) {
+			n.advanceCommit(idx)
+			return
+		}
+	}
+}
+
+func (n *Node) advanceCommit(to uint64) {
+	if to <= n.commitIndex {
+		return
+	}
+	from := n.commitIndex + 1
+	n.commitIndex = to
+	for idx := from; idx <= to; idx++ {
+		e := n.log[idx-1]
+		if len(e.Data) == 0 {
+			continue // leadership no-op: nothing to apply
+		}
+		n.stalledApply = append(n.stalledApply, e)
+	}
+	n.flushStalledApply()
+	n.ackPending(to)
+}
+
+// flushStalledApply moves committed entries into the apply_queue,
+// stopping (and retaining the remainder) when BFC trips.
+func (n *Node) flushStalledApply() {
+	for len(n.stalledApply) > 0 {
+		e := n.stalledApply[0]
+		if err := n.applyQ.Push(e, int64(len(e.Data))); err != nil {
+			return // full: retry next tick; sync_queue drain is gated on this
+		}
+		n.stalledApply = n.stalledApply[1:]
+	}
+}
+
+func (n *Node) ackPending(committed uint64) {
+	i := 0
+	for ; i < len(n.pending); i++ {
+		if n.pending[i].index > committed {
+			break
+		}
+		n.pending[i].done <- nil
+	}
+	n.pending = n.pending[i:]
+}

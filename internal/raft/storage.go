@@ -1,0 +1,79 @@
+package raft
+
+import "sync"
+
+// Storage persists a node's durable raft state: the log plus the
+// (term, vote) pair. The node writes through on every mutation and
+// reads it all back at construction, so a node restarted on the same
+// Storage resumes safely.
+type Storage interface {
+	// InitialState returns the persisted term and vote.
+	InitialState() (term uint64, vote NodeID)
+	// SetState persists term and vote.
+	SetState(term uint64, vote NodeID)
+	// Entries returns the whole persisted log in index order.
+	Entries() []Entry
+	// Append appends entries (contiguous with the existing log).
+	Append(entries []Entry)
+	// TruncateFrom discards all entries with Index >= index.
+	TruncateFrom(index uint64)
+}
+
+// MemoryStorage is the default Storage: everything in RAM. A WAL-backed
+// implementation can replace it where durability across process death
+// is needed; within the in-process simulation, node "crashes" keep the
+// MemoryStorage object alive to model stable storage.
+type MemoryStorage struct {
+	mu      sync.Mutex
+	term    uint64
+	vote    NodeID
+	entries []Entry
+}
+
+// NewMemoryStorage returns empty storage.
+func NewMemoryStorage() *MemoryStorage {
+	return &MemoryStorage{vote: None}
+}
+
+// InitialState implements Storage.
+func (s *MemoryStorage) InitialState() (uint64, NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.term, s.vote
+}
+
+// SetState implements Storage.
+func (s *MemoryStorage) SetState(term uint64, vote NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.term = term
+	s.vote = vote
+}
+
+// Entries implements Storage.
+func (s *MemoryStorage) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, len(s.entries))
+	copy(out, s.entries)
+	return out
+}
+
+// Append implements Storage.
+func (s *MemoryStorage) Append(entries []Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = append(s.entries, entries...)
+}
+
+// TruncateFrom implements Storage.
+func (s *MemoryStorage) TruncateFrom(index uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, e := range s.entries {
+		if e.Index >= index {
+			s.entries = s.entries[:i]
+			return
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package raft
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// LocalNetwork is an in-process message bus connecting the members of
+// one raft group. It supports partitioning nodes and probabilistic
+// message loss for fault-injection tests.
+type LocalNetwork struct {
+	mu       sync.Mutex
+	nodes    map[NodeID]*Node
+	cutoff   map[NodeID]bool
+	dropRate float64
+	rng      *rand.Rand
+}
+
+// NewLocalNetwork returns an empty network.
+func NewLocalNetwork(seed int64) *LocalNetwork {
+	return &LocalNetwork{
+		nodes:  make(map[NodeID]*Node),
+		cutoff: make(map[NodeID]bool),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Register attaches a node so it can receive messages.
+func (ln *LocalNetwork) Register(n *Node) {
+	ln.mu.Lock()
+	ln.nodes[n.cfg.ID] = n
+	ln.mu.Unlock()
+}
+
+// Transport returns the Transport a node with the given id should use.
+func (ln *LocalNetwork) Transport(id NodeID) Transport {
+	return &localTransport{net: ln, self: id}
+}
+
+// Disconnect cuts a node off: nothing in, nothing out.
+func (ln *LocalNetwork) Disconnect(id NodeID) {
+	ln.mu.Lock()
+	ln.cutoff[id] = true
+	ln.mu.Unlock()
+}
+
+// Reconnect restores a node's connectivity.
+func (ln *LocalNetwork) Reconnect(id NodeID) {
+	ln.mu.Lock()
+	delete(ln.cutoff, id)
+	ln.mu.Unlock()
+}
+
+// SetDropRate makes each message independently dropped with probability
+// p (0 disables loss).
+func (ln *LocalNetwork) SetDropRate(p float64) {
+	ln.mu.Lock()
+	ln.dropRate = p
+	ln.mu.Unlock()
+}
+
+func (ln *LocalNetwork) deliver(msg Message) {
+	ln.mu.Lock()
+	if ln.cutoff[msg.From] || ln.cutoff[msg.To] {
+		ln.mu.Unlock()
+		return
+	}
+	if ln.dropRate > 0 && ln.rng.Float64() < ln.dropRate {
+		ln.mu.Unlock()
+		return
+	}
+	dst := ln.nodes[msg.To]
+	ln.mu.Unlock()
+	if dst != nil {
+		dst.Step(msg)
+	}
+}
+
+type localTransport struct {
+	net  *LocalNetwork
+	self NodeID
+}
+
+// Send implements Transport.
+func (t *localTransport) Send(msg Message) {
+	msg.From = t.self
+	t.net.deliver(msg)
+}

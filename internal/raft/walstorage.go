@@ -1,0 +1,242 @@
+package raft
+
+import (
+	"fmt"
+	"sync"
+
+	"logstore/internal/bitutil"
+	"logstore/internal/wal"
+)
+
+// WALStorage persists raft state in a segmented write-ahead log on
+// disk, making a shard's replica durable across process restarts —
+// this is the paper's arrangement where "the WAL is synchronized
+// between three replicas using Raft": the raft log IS the WAL.
+//
+// Record encoding (one WAL record per mutation):
+//
+//	'S' term vote+1        — SetState
+//	'E' entry              — Append (one record per entry)
+//	'T' index              — TruncateFrom
+//
+// Open replays the WAL to rebuild the logical state; Compact rewrites
+// nothing (WAL truncation is segment-granular and driven by the
+// checkpoint task via DropThrough).
+type WALStorage struct {
+	mu   sync.Mutex
+	log  *wal.Log
+	term uint64
+	vote NodeID
+	// entries is the live raft log (the WAL is the durable copy);
+	// seqs[i] is the WAL sequence number of entries[i]'s record, used
+	// by Checkpoint to recycle old segments safely.
+	entries []Entry
+	seqs    []uint64
+	applied uint64 // highest durable applied-mark
+}
+
+// Record type tags.
+const (
+	walTagState    = 'S'
+	walTagEntry    = 'E'
+	walTagTruncate = 'T'
+	// walTagApplied marks entries ≤ index as durably applied AND
+	// archived elsewhere: segment truncation is best-effort (whole
+	// segments only), so the marker is what guarantees restart-replay
+	// idempotence — state machines skip entries at or below it.
+	walTagApplied = 'A'
+)
+
+// OpenWALStorage opens (or creates) durable raft storage in dir.
+func OpenWALStorage(dir string, opts wal.Options) (*WALStorage, error) {
+	l, err := wal.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &WALStorage{log: l, vote: None}
+	err = l.Replay(func(seq uint64, payload []byte) error {
+		if len(payload) == 0 {
+			return fmt.Errorf("raft: empty WAL record")
+		}
+		switch payload[0] {
+		case walTagState:
+			term, n, err := bitutil.Uvarint(payload[1:])
+			if err != nil {
+				return fmt.Errorf("raft: WAL state term: %w", err)
+			}
+			votePlus, _, err := bitutil.Uvarint(payload[1+n:])
+			if err != nil {
+				return fmt.Errorf("raft: WAL state vote: %w", err)
+			}
+			s.term = term
+			s.vote = NodeID(int64(votePlus) - 1)
+		case walTagEntry:
+			e, _, err := DecodeEntry(payload[1:])
+			if err != nil {
+				return fmt.Errorf("raft: WAL entry: %w", err)
+			}
+			s.entries = append(s.entries, e)
+			s.seqs = append(s.seqs, seq)
+		case walTagTruncate:
+			idx, _, err := bitutil.Uvarint(payload[1:])
+			if err != nil {
+				return fmt.Errorf("raft: WAL truncate: %w", err)
+			}
+			s.truncateMem(idx)
+		case walTagApplied:
+			idx, _, err := bitutil.Uvarint(payload[1:])
+			if err != nil {
+				return fmt.Errorf("raft: WAL applied mark: %w", err)
+			}
+			if idx > s.applied {
+				s.applied = idx
+			}
+		default:
+			return fmt.Errorf("raft: unknown WAL tag %q", payload[0])
+		}
+		return nil
+	})
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	// A checkpointed WAL no longer starts at raft index 1. Full
+	// snapshot/InstallSnapshot machinery is out of scope, so a node
+	// restarting from a compacted WAL rejoins with an empty log and is
+	// repaired by the leader; the rows behind the dropped prefix are
+	// already archived to object storage (that is what authorized the
+	// checkpoint), so no data is lost.
+	if len(s.entries) > 0 && s.entries[0].Index != 1 {
+		s.entries = nil
+		s.seqs = nil
+	}
+	return s, nil
+}
+
+func (s *WALStorage) truncateMem(index uint64) {
+	for i, e := range s.entries {
+		if e.Index >= index {
+			s.entries = s.entries[:i]
+			s.seqs = s.seqs[:i]
+			return
+		}
+	}
+}
+
+// InitialState implements Storage.
+func (s *WALStorage) InitialState() (uint64, NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.term, s.vote
+}
+
+// SetState implements Storage.
+func (s *WALStorage) SetState(term uint64, vote NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.term = term
+	s.vote = vote
+	rec := []byte{walTagState}
+	rec = bitutil.AppendUvarint(rec, term)
+	rec = bitutil.AppendUvarint(rec, uint64(int64(vote)+1))
+	_, _ = s.log.Append(rec)
+}
+
+// Entries implements Storage.
+func (s *WALStorage) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, len(s.entries))
+	copy(out, s.entries)
+	return out
+}
+
+// Append implements Storage.
+func (s *WALStorage) Append(entries []Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		rec := append([]byte{walTagEntry}, e.AppendTo(nil)...)
+		seq, err := s.log.Append(rec)
+		if err != nil {
+			return // closed log: in-memory state still serves the node
+		}
+		s.entries = append(s.entries, e)
+		s.seqs = append(s.seqs, seq)
+	}
+}
+
+// TruncateFrom implements Storage.
+func (s *WALStorage) TruncateFrom(index uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := []byte{walTagTruncate}
+	rec = bitutil.AppendUvarint(rec, index)
+	_, _ = s.log.Append(rec)
+	s.truncateMem(index)
+}
+
+// Sync flushes the WAL to stable storage (call after quorum-critical
+// writes when Options.SyncEveryAppend is off).
+func (s *WALStorage) Sync() error {
+	return s.log.Sync()
+}
+
+// Checkpoint recycles WAL segments whose raft entries are all ≤
+// appliedIndex (already applied and durable elsewhere, e.g. archived
+// to object storage). Entries above appliedIndex — and the durable
+// term/vote — survive: the current state record is re-appended to the
+// active segment first, and truncation never touches a segment holding
+// a retained entry's sequence. Mirrors the controller's periodic
+// checkpointing task (paper §3).
+//
+// NOTE: entries ≤ appliedIndex are dropped from the WAL but retained
+// in memory, so a restarted node re-fetches old entries from the
+// leader if a lagging peer needs them — the standard post-compaction
+// behaviour.
+func (s *WALStorage) Checkpoint(appliedIndex uint64) error {
+	s.mu.Lock()
+	// Durable applied mark first: restart replay skips entries ≤ it.
+	if appliedIndex > s.applied {
+		mark := []byte{walTagApplied}
+		mark = bitutil.AppendUvarint(mark, appliedIndex)
+		if _, err := s.log.Append(mark); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.applied = appliedIndex
+	}
+	// Durable state must outlive the truncated prefix: rewrite it into
+	// the active segment.
+	rec := []byte{walTagState}
+	rec = bitutil.AppendUvarint(rec, s.term)
+	rec = bitutil.AppendUvarint(rec, uint64(int64(s.vote)+1))
+	if _, err := s.log.Append(rec); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	// Keep every WAL record from the first retained entry onward.
+	keep := s.log.NextSeq()
+	for i, e := range s.entries {
+		if e.Index > appliedIndex {
+			keep = s.seqs[i]
+			break
+		}
+	}
+	s.mu.Unlock()
+	return s.log.TruncateFront(keep)
+}
+
+// AppliedMark returns the highest durable applied mark: entries at or
+// below it were applied AND their effects archived before the last
+// checkpoint, so a restarted state machine must skip them.
+func (s *WALStorage) AppliedMark() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// Close closes the underlying WAL.
+func (s *WALStorage) Close() error {
+	return s.log.Close()
+}

@@ -1,0 +1,280 @@
+// Package rowstore implements LogStore's write-optimized real-time
+// store (paper §2 "Real-time and Low-latency Writes", §3.1): a single
+// huge row-oriented table organized only by arrival time — deliberately
+// NOT separated by tenant — with no indexes and no compression, so the
+// foreground write path spends no CPU beyond appending. Data becomes
+// readable immediately (real-time visibility); the background data
+// builder later drains sealed segments, splits them by tenant, and
+// converts them into columnar LogBlocks on object storage.
+package rowstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"logstore/internal/schema"
+)
+
+// ErrClosed is returned for operations on a closed store.
+var ErrClosed = errors.New("rowstore: closed")
+
+// Options tunes segment rollover.
+type Options struct {
+	// MaxSegmentBytes seals the active segment when its approximate
+	// payload exceeds this (0 = 16 MiB).
+	MaxSegmentBytes int64
+	// MaxSegmentRows seals the active segment at a row count (0 = no
+	// row-count trigger).
+	MaxSegmentRows int
+	// TenantIndex builds a per-tenant row index on each segment when it
+	// seals, so ScanTenant touches only the tenant's rows instead of
+	// scanning the whole segment. This implements the paper's stated
+	// future work ("improving query performance by optimizing the data
+	// structure of the real-time store") at a small sealing cost; the
+	// foreground append path is untouched.
+	TenantIndex bool
+}
+
+// Segment is an immutable-after-seal run of rows in arrival order.
+type Segment struct {
+	ID    uint64
+	Rows  []schema.Row
+	Bytes int64
+	MinTS int64
+	MaxTS int64
+
+	// byTenant maps tenant → positions in Rows; built at seal time when
+	// Options.TenantIndex is set, nil otherwise.
+	byTenant map[int64][]int32
+}
+
+// buildTenantIndex populates byTenant (called once, at seal).
+func (s *Segment) buildTenantIndex(tenantIdx int) {
+	s.byTenant = make(map[int64][]int32)
+	for i, r := range s.Rows {
+		t := r[tenantIdx].I
+		s.byTenant[t] = append(s.byTenant[t], int32(i))
+	}
+}
+
+// Store is the real-time store. Safe for concurrent use.
+type Store struct {
+	sch  *schema.Schema
+	opts Options
+
+	mu     sync.RWMutex
+	active *Segment
+	sealed []*Segment
+	nextID uint64
+	closed bool
+
+	totalRows  int64
+	totalBytes int64
+}
+
+// New returns an empty store for the given schema.
+func New(sch *schema.Schema, opts Options) (*Store, error) {
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = 16 << 20
+	}
+	return &Store{sch: sch, opts: opts, nextID: 1}, nil
+}
+
+// Schema returns the table schema.
+func (s *Store) Schema() *schema.Schema { return s.sch }
+
+func (s *Store) newSegmentLocked() *Segment {
+	seg := &Segment{ID: s.nextID}
+	s.nextID++
+	return seg
+}
+
+// Append adds rows to the active segment, sealing it first if full.
+// Rows are validated against the schema; the first invalid row aborts
+// the batch without partial application.
+func (s *Store) Append(rows ...schema.Row) error {
+	for i, r := range rows {
+		if err := r.Conforms(s.sch); err != nil {
+			return fmt.Errorf("rowstore: batch row %d: %w", i, err)
+		}
+	}
+	timeIdx := s.sch.TimeIdx()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.active == nil {
+		s.active = s.newSegmentLocked()
+	}
+	for _, r := range rows {
+		sz := int64(r.Size())
+		if (s.opts.MaxSegmentBytes > 0 && s.active.Bytes+sz > s.opts.MaxSegmentBytes && len(s.active.Rows) > 0) ||
+			(s.opts.MaxSegmentRows > 0 && len(s.active.Rows) >= s.opts.MaxSegmentRows) {
+			if s.opts.TenantIndex {
+				s.active.buildTenantIndex(s.sch.TenantIdx())
+			}
+			s.sealed = append(s.sealed, s.active)
+			s.active = s.newSegmentLocked()
+		}
+		ts := r[timeIdx].I
+		if len(s.active.Rows) == 0 || ts < s.active.MinTS {
+			s.active.MinTS = ts
+		}
+		if len(s.active.Rows) == 0 || ts > s.active.MaxTS {
+			s.active.MaxTS = ts
+		}
+		s.active.Rows = append(s.active.Rows, r)
+		s.active.Bytes += sz
+		s.totalRows++
+		s.totalBytes += sz
+	}
+	return nil
+}
+
+// Seal forces the active segment into the sealed list and returns it
+// (nil when the active segment is empty). The data builder calls this
+// on its archive cadence so even a slow tenant's data eventually
+// reaches OSS.
+func (s *Store) Seal() *Segment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil || len(s.active.Rows) == 0 {
+		return nil
+	}
+	seg := s.active
+	if s.opts.TenantIndex {
+		seg.buildTenantIndex(s.sch.TenantIdx())
+	}
+	s.sealed = append(s.sealed, seg)
+	s.active = s.newSegmentLocked()
+	return seg
+}
+
+// Sealed returns the sealed segments awaiting archive, oldest first.
+func (s *Store) Sealed() []*Segment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Segment, len(s.sealed))
+	copy(out, s.sealed)
+	return out
+}
+
+// Release drops a sealed segment once the builder has durably archived
+// it, freeing its memory. Unknown ids are ignored (idempotent release).
+func (s *Store) Release(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, seg := range s.sealed {
+		if seg.ID == id {
+			s.totalRows -= int64(len(seg.Rows))
+			s.totalBytes -= seg.Bytes
+			s.sealed = append(s.sealed[:i], s.sealed[i+1:]...)
+			return
+		}
+	}
+}
+
+// Scan streams every resident row (sealed then active, arrival order)
+// to fn; returning false stops early.
+func (s *Store) Scan(fn func(r schema.Row) bool) {
+	s.mu.RLock()
+	segs := make([]*Segment, 0, len(s.sealed)+1)
+	segs = append(segs, s.sealed...)
+	if s.active != nil && len(s.active.Rows) > 0 {
+		segs = append(segs, s.active)
+	}
+	// Snapshot active length: rows are append-only so the prefix is
+	// immutable; the slice header copy keeps iteration race-free.
+	views := make([][]schema.Row, len(segs))
+	for i, seg := range segs {
+		views[i] = seg.Rows[:len(seg.Rows)]
+	}
+	s.mu.RUnlock()
+
+	for _, rows := range views {
+		for _, r := range rows {
+			if !fn(r) {
+				return
+			}
+		}
+	}
+}
+
+// ScanTenant streams rows of one tenant within [minTS, maxTS],
+// skipping segments whose time range cannot overlap. This is the
+// real-time read path serving queries over not-yet-archived data.
+func (s *Store) ScanTenant(tenant, minTS, maxTS int64, fn func(r schema.Row) bool) {
+	tenantIdx := s.sch.TenantIdx()
+	timeIdx := s.sch.TimeIdx()
+
+	s.mu.RLock()
+	segs := make([]*Segment, 0, len(s.sealed)+1)
+	segs = append(segs, s.sealed...)
+	if s.active != nil && len(s.active.Rows) > 0 {
+		segs = append(segs, s.active)
+	}
+	type view struct {
+		rows []schema.Row
+		idx  []int32 // tenant's row positions, when indexed
+	}
+	views := make([]view, 0, len(segs))
+	for _, seg := range segs {
+		if len(seg.Rows) > 0 && (seg.MaxTS < minTS || seg.MinTS > maxTS) {
+			continue // segment-level time skipping
+		}
+		v := view{rows: seg.Rows[:len(seg.Rows)]}
+		if seg.byTenant != nil {
+			positions, ok := seg.byTenant[tenant]
+			if !ok {
+				continue // indexed segment without this tenant: skip it
+			}
+			v.idx = positions
+		}
+		views = append(views, v)
+	}
+	s.mu.RUnlock()
+
+	emit := func(r schema.Row) bool {
+		if r[tenantIdx].I != tenant {
+			return true
+		}
+		if ts := r[timeIdx].I; ts < minTS || ts > maxTS {
+			return true
+		}
+		return fn(r)
+	}
+	for _, v := range views {
+		if v.idx != nil {
+			for _, pos := range v.idx {
+				if !emit(v.rows[pos]) {
+					return
+				}
+			}
+			continue
+		}
+		for _, r := range v.rows {
+			if !emit(r) {
+				return
+			}
+		}
+	}
+}
+
+// Stats reports resident totals.
+func (s *Store) Stats() (rows, bytes int64, sealedSegments int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.totalRows, s.totalBytes, len(s.sealed)
+}
+
+// Close marks the store closed; resident data remains scannable.
+func (s *Store) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}

@@ -1,0 +1,180 @@
+package schema
+
+import (
+	"fmt"
+
+	"logstore/internal/bitutil"
+)
+
+// Value is one typed cell of a row: either an int64 or a string,
+// discriminated by Kind.
+type Value struct {
+	Kind ColumnType
+	I    int64
+	S    string
+}
+
+// IntValue returns an Int64 value.
+func IntValue(v int64) Value { return Value{Kind: Int64, I: v} }
+
+// StringValue returns a String value.
+func StringValue(s string) Value { return Value{Kind: String, S: s} }
+
+// String renders the value for diagnostics and query results.
+func (v Value) String() string {
+	switch v.Kind {
+	case Int64:
+		return fmt.Sprintf("%d", v.I)
+	case String:
+		return v.S
+	default:
+		return fmt.Sprintf("value(kind=%d)", v.Kind)
+	}
+}
+
+// Equal reports whether two values have the same kind and content.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	if v.Kind == Int64 {
+		return v.I == o.I
+	}
+	return v.S == o.S
+}
+
+// Compare orders two values of the same kind: -1, 0, or +1.
+// Comparing values of different kinds panics; the planner type-checks
+// predicates before evaluation.
+func (v Value) Compare(o Value) int {
+	if v.Kind != o.Kind {
+		panic(fmt.Sprintf("schema: comparing %v with %v", v.Kind, o.Kind))
+	}
+	switch v.Kind {
+	case Int64:
+		switch {
+		case v.I < o.I:
+			return -1
+		case v.I > o.I:
+			return 1
+		}
+		return 0
+	default:
+		switch {
+		case v.S < o.S:
+			return -1
+		case v.S > o.S:
+			return 1
+		}
+		return 0
+	}
+}
+
+// Row is one log record: values positionally aligned with the schema's
+// columns.
+type Row []Value
+
+// Size returns an approximate in-memory footprint in bytes, used by
+// byte-bounded queues and the row store's flush thresholds.
+func (r Row) Size() int {
+	n := 0
+	for _, v := range r {
+		n += 16 // Value struct overhead approximation
+		n += len(v.S)
+	}
+	return n
+}
+
+// Tenant extracts the tenant id given the schema.
+func (r Row) Tenant(s *Schema) int64 { return r[s.TenantIdx()].I }
+
+// Time extracts the timestamp (ms) given the schema.
+func (r Row) Time(s *Schema) int64 { return r[s.TimeIdx()].I }
+
+// Conforms checks the row's arity and value kinds against the schema.
+func (r Row) Conforms(s *Schema) error {
+	if len(r) != len(s.Columns) {
+		return fmt.Errorf("schema: row has %d values, table %s has %d columns",
+			len(r), s.Name, len(s.Columns))
+	}
+	for i, v := range r {
+		if v.Kind != s.Columns[i].Type {
+			return fmt.Errorf("schema: column %q: value kind %v, want %v",
+				s.Columns[i].Name, v.Kind, s.Columns[i].Type)
+		}
+	}
+	return nil
+}
+
+// AppendTo serializes the row (schema-relative, no self-description) for
+// WAL records and replication messages.
+func (r Row) AppendTo(dst []byte) []byte {
+	dst = bitutil.AppendUvarint(dst, uint64(len(r)))
+	for _, v := range r {
+		dst = append(dst, byte(v.Kind))
+		if v.Kind == Int64 {
+			dst = bitutil.AppendVarint(dst, v.I)
+		} else {
+			dst = bitutil.AppendLenString(dst, v.S)
+		}
+	}
+	return dst
+}
+
+// DecodeRow reverses AppendTo, returning the row and bytes consumed.
+func DecodeRow(data []byte) (Row, int, error) {
+	nvals, off, err := bitutil.Uvarint(data)
+	if err != nil {
+		return nil, 0, fmt.Errorf("schema: row arity: %w", err)
+	}
+	if nvals > 1<<16 {
+		return nil, 0, fmt.Errorf("schema: implausible row arity %d", nvals)
+	}
+	row := make(Row, 0, nvals)
+	for i := uint64(0); i < nvals; i++ {
+		if off >= len(data) {
+			return nil, 0, fmt.Errorf("schema: row value %d truncated", i)
+		}
+		kind := ColumnType(data[off])
+		off++
+		switch kind {
+		case Int64:
+			v, n, err := bitutil.Varint(data[off:])
+			if err != nil {
+				return nil, 0, fmt.Errorf("schema: row value %d: %w", i, err)
+			}
+			off += n
+			row = append(row, IntValue(v))
+		case String:
+			s, n, err := bitutil.LenString(data[off:])
+			if err != nil {
+				return nil, 0, fmt.Errorf("schema: row value %d: %w", i, err)
+			}
+			off += n
+			row = append(row, StringValue(s))
+		default:
+			return nil, 0, fmt.Errorf("schema: row value %d has bad kind %d", i, kind)
+		}
+	}
+	return row, off, nil
+}
+
+// RequestLogSchema returns the sample table from the paper's evaluation
+// (§6.1): application request logs partitioned by tenant_id and ts, with
+// every column indexed.
+func RequestLogSchema() *Schema {
+	return &Schema{
+		Name: "request_log",
+		Columns: []Column{
+			{Name: "tenant_id", Type: Int64, Index: IndexBKD},
+			{Name: "ts", Type: Int64, Index: IndexBKD},
+			{Name: "ip", Type: String, Index: IndexInverted},
+			{Name: "api", Type: String, Index: IndexInverted},
+			{Name: "latency", Type: Int64, Index: IndexBKD},
+			{Name: "fail", Type: String, Index: IndexInverted},
+			{Name: "log", Type: String, Index: IndexInverted},
+		},
+		TenantCol: "tenant_id",
+		TimeCol:   "ts",
+	}
+}

@@ -1,0 +1,214 @@
+// Package schema defines the shared data model for LogStore: table
+// schemas, typed column values, and log rows. It is the vocabulary used
+// by the row store, the data builder, the LogBlock format, and the query
+// engine.
+//
+// LogStore tables carry two scalar column types (the paper indexes string
+// columns with an inverted index and numeric columns with a BKD tree):
+// 64-bit integers and strings. Timestamps are int64 milliseconds since
+// the Unix epoch in a designated timestamp column.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"logstore/internal/bitutil"
+)
+
+// ColumnType enumerates LogStore's column types.
+type ColumnType uint8
+
+const (
+	// Int64 is a 64-bit signed integer column (also used for timestamps).
+	Int64 ColumnType = 1
+	// String is a UTF-8 string column.
+	String ColumnType = 2
+)
+
+// String returns the SQL-ish name of the type.
+func (t ColumnType) String() string {
+	switch t {
+	case Int64:
+		return "BIGINT"
+	case String:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// IndexKind describes which secondary index is built for a column inside
+// a LogBlock. The paper builds indexes on all columns by default: an
+// inverted index for strings and a BKD tree for numerics.
+type IndexKind uint8
+
+const (
+	// IndexNone disables per-column indexing (SMA pruning still applies).
+	IndexNone IndexKind = 0
+	// IndexInverted is the full-text inverted index for string columns.
+	IndexInverted IndexKind = 1
+	// IndexBKD is the BKD tree index for numeric columns.
+	IndexBKD IndexKind = 2
+)
+
+// Column describes one attribute of a log table.
+type Column struct {
+	Name  string
+	Type  ColumnType
+	Index IndexKind
+}
+
+// DefaultIndex returns the index kind the paper assigns to a column type:
+// inverted for strings, BKD for numerics.
+func DefaultIndex(t ColumnType) IndexKind {
+	switch t {
+	case String:
+		return IndexInverted
+	case Int64:
+		return IndexBKD
+	default:
+		return IndexNone
+	}
+}
+
+// Schema describes a log table. TenantCol and TimeCol name the partition
+// keys: LogBlocks are organized by tenant and timestamp (paper §3.1).
+type Schema struct {
+	Name      string
+	Columns   []Column
+	TenantCol string
+	TimeCol   string
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TenantIdx returns the position of the tenant column.
+func (s *Schema) TenantIdx() int { return s.ColumnIndex(s.TenantCol) }
+
+// TimeIdx returns the position of the timestamp column.
+func (s *Schema) TimeIdx() int { return s.ColumnIndex(s.TimeCol) }
+
+// Validate checks structural invariants: nonempty name, at least one
+// column, unique column names, and resolvable tenant/time columns of
+// integer type.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("schema: empty table name")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("schema %s: no columns", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("schema %s: empty column name", s.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("schema %s: duplicate column %q", s.Name, c.Name)
+		}
+		seen[c.Name] = true
+		if c.Type != Int64 && c.Type != String {
+			return fmt.Errorf("schema %s: column %q has invalid type %d", s.Name, c.Name, c.Type)
+		}
+	}
+	for _, key := range []struct{ role, name string }{
+		{"tenant", s.TenantCol},
+		{"time", s.TimeCol},
+	} {
+		idx := s.ColumnIndex(key.name)
+		if idx < 0 {
+			return fmt.Errorf("schema %s: %s column %q not found", s.Name, key.role, key.name)
+		}
+		if s.Columns[idx].Type != Int64 {
+			return fmt.Errorf("schema %s: %s column %q must be BIGINT", s.Name, key.role, key.name)
+		}
+	}
+	return nil
+}
+
+// String renders the schema as a CREATE TABLE-ish description.
+func (s *Schema) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "TABLE %s (", s.Name)
+	for i, c := range s.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %s", c.Name, c.Type)
+	}
+	fmt.Fprintf(&sb, ") TENANT KEY %s TIME KEY %s", s.TenantCol, s.TimeCol)
+	return sb.String()
+}
+
+// Marshal serializes the schema for embedding in a LogBlock header
+// (LogBlocks are self-contained: they carry their full schema).
+func (s *Schema) Marshal() []byte {
+	var buf []byte
+	buf = bitutil.AppendLenString(buf, s.Name)
+	buf = bitutil.AppendLenString(buf, s.TenantCol)
+	buf = bitutil.AppendLenString(buf, s.TimeCol)
+	buf = bitutil.AppendUvarint(buf, uint64(len(s.Columns)))
+	for _, c := range s.Columns {
+		buf = bitutil.AppendLenString(buf, c.Name)
+		buf = append(buf, byte(c.Type), byte(c.Index))
+	}
+	return buf
+}
+
+// UnmarshalSchema reverses Marshal and returns the bytes consumed.
+func UnmarshalSchema(data []byte) (*Schema, int, error) {
+	s := &Schema{}
+	off := 0
+	var err error
+	var n int
+	if s.Name, n, err = bitutil.LenString(data[off:]); err != nil {
+		return nil, 0, fmt.Errorf("schema: name: %w", err)
+	}
+	off += n
+	if s.TenantCol, n, err = bitutil.LenString(data[off:]); err != nil {
+		return nil, 0, fmt.Errorf("schema: tenant col: %w", err)
+	}
+	off += n
+	if s.TimeCol, n, err = bitutil.LenString(data[off:]); err != nil {
+		return nil, 0, fmt.Errorf("schema: time col: %w", err)
+	}
+	off += n
+	ncols, n, err := bitutil.Uvarint(data[off:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("schema: column count: %w", err)
+	}
+	off += n
+	if ncols > 1<<16 {
+		return nil, 0, fmt.Errorf("schema: implausible column count %d", ncols)
+	}
+	s.Columns = make([]Column, 0, ncols)
+	for i := uint64(0); i < ncols; i++ {
+		name, n, err := bitutil.LenString(data[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("schema: column %d name: %w", i, err)
+		}
+		off += n
+		if off+2 > len(data) {
+			return nil, 0, fmt.Errorf("schema: column %d type truncated", i)
+		}
+		s.Columns = append(s.Columns, Column{
+			Name:  name,
+			Type:  ColumnType(data[off]),
+			Index: IndexKind(data[off+1]),
+		})
+		off += 2
+	}
+	if err := s.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return s, off, nil
+}

@@ -1,0 +1,218 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func validSchema() *Schema {
+	return &Schema{
+		Name: "t",
+		Columns: []Column{
+			{Name: "tenant_id", Type: Int64, Index: IndexBKD},
+			{Name: "ts", Type: Int64, Index: IndexBKD},
+			{Name: "msg", Type: String, Index: IndexInverted},
+		},
+		TenantCol: "tenant_id",
+		TimeCol:   "ts",
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := validSchema().Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Schema)
+	}{
+		{"empty name", func(s *Schema) { s.Name = "" }},
+		{"no columns", func(s *Schema) { s.Columns = nil }},
+		{"dup column", func(s *Schema) { s.Columns = append(s.Columns, Column{Name: "ts", Type: Int64}) }},
+		{"empty column name", func(s *Schema) { s.Columns[0].Name = "" }},
+		{"bad type", func(s *Schema) { s.Columns[0].Type = 99 }},
+		{"missing tenant", func(s *Schema) { s.TenantCol = "nope" }},
+		{"missing time", func(s *Schema) { s.TimeCol = "nope" }},
+		{"string tenant", func(s *Schema) { s.TenantCol = "msg" }},
+		{"string time", func(s *Schema) { s.TimeCol = "msg" }},
+	}
+	for _, tc := range cases {
+		s := validSchema()
+		tc.mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	s := validSchema()
+	if got := s.ColumnIndex("ts"); got != 1 {
+		t.Errorf("ColumnIndex(ts) = %d", got)
+	}
+	if got := s.ColumnIndex("nope"); got != -1 {
+		t.Errorf("ColumnIndex(nope) = %d", got)
+	}
+	if s.TenantIdx() != 0 || s.TimeIdx() != 1 {
+		t.Errorf("key indexes = %d, %d", s.TenantIdx(), s.TimeIdx())
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	s := RequestLogSchema()
+	raw := s.Marshal()
+	got, n, err := UnmarshalSchema(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(raw) {
+		t.Errorf("consumed %d of %d bytes", n, len(raw))
+	}
+	if got.String() != s.String() {
+		t.Errorf("round trip:\n got %s\nwant %s", got, s)
+	}
+	for i, c := range got.Columns {
+		if c.Index != s.Columns[i].Index {
+			t.Errorf("column %s index kind %d, want %d", c.Name, c.Index, s.Columns[i].Index)
+		}
+	}
+}
+
+func TestSchemaUnmarshalTruncated(t *testing.T) {
+	raw := RequestLogSchema().Marshal()
+	for cut := 0; cut < len(raw); cut += 3 {
+		if _, _, err := UnmarshalSchema(raw[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes should error", cut)
+		}
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := validSchema()
+	out := s.String()
+	for _, want := range []string{"TABLE t", "tenant_id BIGINT", "msg VARCHAR", "TENANT KEY tenant_id", "TIME KEY ts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestDefaultIndex(t *testing.T) {
+	if DefaultIndex(String) != IndexInverted {
+		t.Error("strings should default to inverted index")
+	}
+	if DefaultIndex(Int64) != IndexBKD {
+		t.Error("ints should default to BKD index")
+	}
+	if DefaultIndex(ColumnType(9)) != IndexNone {
+		t.Error("unknown types should default to no index")
+	}
+}
+
+func TestValueBasics(t *testing.T) {
+	a := IntValue(7)
+	b := IntValue(9)
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Error("int compare broken")
+	}
+	x := StringValue("apple")
+	y := StringValue("banana")
+	if x.Compare(y) != -1 || y.Compare(x) != 1 || x.Compare(x) != 0 {
+		t.Error("string compare broken")
+	}
+	if !a.Equal(IntValue(7)) || a.Equal(b) || a.Equal(x) {
+		t.Error("Equal broken")
+	}
+	if a.String() != "7" || x.String() != "apple" {
+		t.Error("String broken")
+	}
+}
+
+func TestValueCompareKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-kind Compare should panic")
+		}
+	}()
+	IntValue(1).Compare(StringValue("x"))
+}
+
+func TestRowConforms(t *testing.T) {
+	s := validSchema()
+	good := Row{IntValue(1), IntValue(2), StringValue("hello")}
+	if err := good.Conforms(s); err != nil {
+		t.Errorf("conforming row rejected: %v", err)
+	}
+	if err := (Row{IntValue(1)}).Conforms(s); err == nil {
+		t.Error("short row accepted")
+	}
+	bad := Row{IntValue(1), StringValue("x"), StringValue("hello")}
+	if err := bad.Conforms(s); err == nil {
+		t.Error("kind-mismatched row accepted")
+	}
+	if good.Tenant(s) != 1 || good.Time(s) != 2 {
+		t.Error("key extraction broken")
+	}
+}
+
+func TestRowRoundTrip(t *testing.T) {
+	f := func(i1, i2 int64, s1, s2 string) bool {
+		row := Row{IntValue(i1), StringValue(s1), IntValue(i2), StringValue(s2)}
+		raw := row.AppendTo(nil)
+		got, n, err := DecodeRow(raw)
+		if err != nil || n != len(raw) || len(got) != len(row) {
+			return false
+		}
+		for i := range row {
+			if !got[i].Equal(row[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRowErrors(t *testing.T) {
+	if _, _, err := DecodeRow(nil); err == nil {
+		t.Error("empty input should error")
+	}
+	row := Row{IntValue(42), StringValue("payload")}
+	raw := row.AppendTo(nil)
+	for cut := 1; cut < len(raw); cut++ {
+		if _, _, err := DecodeRow(raw[:cut]); err == nil {
+			t.Errorf("truncation to %d should error", cut)
+		}
+	}
+	// Bad value kind.
+	bad := []byte{1, 99}
+	if _, _, err := DecodeRow(bad); err == nil {
+		t.Error("bad kind should error")
+	}
+}
+
+func TestRowSize(t *testing.T) {
+	r := Row{IntValue(1), StringValue("hello")}
+	if got := r.Size(); got < len("hello") {
+		t.Errorf("Size = %d, implausibly small", got)
+	}
+}
+
+func TestRequestLogSchema(t *testing.T) {
+	s := RequestLogSchema()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("paper schema invalid: %v", err)
+	}
+	// Paper: indexes are created for ALL columns.
+	for _, c := range s.Columns {
+		if c.Index == IndexNone {
+			t.Errorf("column %s should be indexed", c.Name)
+		}
+		if want := DefaultIndex(c.Type); c.Index != want {
+			t.Errorf("column %s index = %d, want %d", c.Name, c.Index, want)
+		}
+	}
+}

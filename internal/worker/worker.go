@@ -1,0 +1,687 @@
+// Package worker implements LogStore's execution layer (paper §3): a
+// worker node hosts a set of shards, each backed by a Raft-replicated
+// write-optimized row store (two-phase write, phase one), runs the
+// data builder that archives sealed segments to object storage as
+// LogBlocks (phase two), and executes sub-queries — over its shards'
+// real-time stores and over archived LogBlocks fetched through its
+// multi-level cache and parallel prefetcher.
+package worker
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"logstore/internal/bitutil"
+	"logstore/internal/builder"
+	"logstore/internal/cache"
+	"logstore/internal/flow"
+	"logstore/internal/logblock"
+	"logstore/internal/meta"
+	"logstore/internal/oss"
+	"logstore/internal/prefetch"
+	"logstore/internal/query"
+	"logstore/internal/raft"
+	"logstore/internal/rowstore"
+	"logstore/internal/schema"
+	"logstore/internal/wal"
+)
+
+// Config configures one worker node.
+type Config struct {
+	ID flow.WorkerID
+	// CapacityPerSec is the worker's advertised write capacity c(D_k)
+	// (rows/sec), used by the traffic scheduler.
+	CapacityPerSec float64
+	// Replicas per shard Raft group (1 disables replication; the paper
+	// runs 3: two full row stores plus one WAL-only).
+	Replicas int
+	// MemoryCacheBytes / DiskCacheBytes / DiskCacheDir size the block
+	// cache levels (paper: 8 GB / 200 GB).
+	MemoryCacheBytes int64
+	DiskCacheBytes   int64
+	DiskCacheDir     string
+	// ObjectCacheBytes sizes the decoded-object cache.
+	ObjectCacheBytes int64
+	// PrefetchThreads sizes the parallel prefetch pool (paper: 32).
+	PrefetchThreads int
+	// PrefetchDisabled forces serial block loading (Figure 16 baseline).
+	PrefetchDisabled bool
+	// BlockSize is the cache/prefetch file-block granularity.
+	BlockSize int64
+	// ArchiveInterval is the builder cadence.
+	ArchiveInterval time.Duration
+	// RowStore tunes per-shard segment rollover.
+	RowStore rowstore.Options
+	// Builder configures LogBlock construction.
+	Builder builder.Config
+	// RaftTick accelerates raft timing in tests (0 = 10ms).
+	RaftTick time.Duration
+	// DataDir, when set, makes every shard replica's raft log durable
+	// on disk (WAL-backed storage under DataDir/shard-N/replica-M);
+	// empty keeps raft state in memory.
+	DataDir string
+	// RaftSyncQueueItems / RaftSyncQueueBytes bound each shard's
+	// sync_queue (BFC); zero selects the raft defaults.
+	RaftSyncQueueItems int
+	RaftSyncQueueBytes int64
+	// RaftApplyQueueItems / RaftApplyQueueBytes bound the apply_queue.
+	RaftApplyQueueItems int
+	RaftApplyQueueBytes int64
+}
+
+// Shard is one table shard hosted by a worker: a raft group whose state
+// machine is the shard's row store.
+type Shard struct {
+	ID    flow.ShardID
+	rs    *rowstore.Store
+	group *raftGroup // nil when Replicas <= 1
+	sch   *schema.Schema
+	// applied is the highest raft index replica 0 has applied to rs;
+	// once those rows are archived to object storage, the raft WAL can
+	// be checkpointed up to it.
+	applied atomic.Uint64
+}
+
+// raftGroup bundles the in-process replica set of one shard.
+type raftGroup struct {
+	nodes    []*raft.Node
+	net      *raft.LocalNetwork
+	storages []*raft.WALStorage // non-nil entries are closed on stop
+}
+
+func (g *raftGroup) leader() *raft.Node {
+	for _, n := range g.nodes {
+		if n.IsLeader() {
+			return n
+		}
+	}
+	return nil
+}
+
+func (g *raftGroup) stop() {
+	for _, n := range g.nodes {
+		n.Stop()
+	}
+	for _, s := range g.storages {
+		if s != nil {
+			_ = s.Close()
+		}
+	}
+}
+
+// Worker is one execution-layer node.
+type Worker struct {
+	cfg     Config
+	sch     *schema.Schema
+	store   oss.Store
+	catalog *meta.Manager
+
+	mu     sync.RWMutex
+	shards map[flow.ShardID]*Shard
+
+	blockCache  *cache.BlockCache
+	objectCache *cache.ObjectCache
+	pool        *prefetch.Service
+	bld         *builder.Builder
+	// archiveMu serializes segment archiving: the background loop and
+	// explicit FlushShard calls must not drain the same segments twice.
+	archiveMu sync.Mutex
+
+	archiveStop chan struct{}
+	archiveDone chan struct{}
+	stopOnce    sync.Once
+}
+
+// New constructs a worker.
+func New(cfg Config, sch *schema.Schema, store oss.Store, catalog *meta.Manager) (*Worker, error) {
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.MemoryCacheBytes <= 0 {
+		cfg.MemoryCacheBytes = 64 << 20
+	}
+	if cfg.ObjectCacheBytes <= 0 {
+		cfg.ObjectCacheBytes = 32 << 20
+	}
+	if cfg.PrefetchThreads <= 0 {
+		cfg.PrefetchThreads = 32
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = prefetch.DefaultBlockSize
+	}
+	if cfg.ArchiveInterval <= 0 {
+		cfg.ArchiveInterval = time.Second
+	}
+	bc, err := cache.NewBlockCache(cache.BlockCacheConfig{
+		MemoryBytes: cfg.MemoryCacheBytes,
+		DiskBytes:   cfg.DiskCacheBytes,
+		DiskDir:     cfg.DiskCacheDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bld, err := builder.New(cfg.Builder, sch, store, catalog)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{
+		cfg:         cfg,
+		sch:         sch,
+		store:       store,
+		catalog:     catalog,
+		shards:      make(map[flow.ShardID]*Shard),
+		blockCache:  bc,
+		objectCache: cache.NewObjectCache(cfg.ObjectCacheBytes),
+		bld:         bld,
+		archiveStop: make(chan struct{}),
+		archiveDone: make(chan struct{}),
+	}
+	if !cfg.PrefetchDisabled {
+		w.pool = prefetch.NewService(cfg.PrefetchThreads, cfg.PrefetchThreads*4)
+	}
+	go w.archiveLoop()
+	return w, nil
+}
+
+// ID returns the worker's id.
+func (w *Worker) ID() flow.WorkerID { return w.cfg.ID }
+
+// Capacity returns the advertised write capacity.
+func (w *Worker) Capacity() float64 { return w.cfg.CapacityPerSec }
+
+// AddShard creates (and hosts) a shard. Idempotent per id.
+func (w *Worker) AddShard(id flow.ShardID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.shards[id]; ok {
+		return nil
+	}
+	rs, err := rowstore.New(w.sch, w.cfg.RowStore)
+	if err != nil {
+		return err
+	}
+	sh := &Shard{ID: id, rs: rs, sch: w.sch}
+	if w.cfg.Replicas > 1 {
+		g := &raftGroup{net: raft.NewLocalNetwork(int64(id))}
+		peers := make([]raft.NodeID, w.cfg.Replicas)
+		for i := range peers {
+			peers[i] = raft.NodeID(i)
+		}
+		for i := range peers {
+			// Durable storage is opened before the state machine so the
+			// recovered applied-mark can gate replay (idempotence across
+			// restarts: entries ≤ mark were already archived to OSS).
+			var ws *raft.WALStorage
+			if w.cfg.DataDir != "" {
+				dir := fmt.Sprintf("%s/shard-%d/replica-%d", w.cfg.DataDir, id, i)
+				opened, err := raft.OpenWALStorage(dir, wal.Options{})
+				if err != nil {
+					g.stop()
+					return fmt.Errorf("worker %d shard %d: open WAL: %w", w.cfg.ID, id, err)
+				}
+				g.storages = append(g.storages, opened)
+				ws = opened
+			}
+			var sm raft.StateMachine
+			if i == 0 {
+				appliedMark := uint64(0)
+				if ws != nil {
+					appliedMark = ws.AppliedMark()
+					sh.applied.Store(appliedMark)
+				}
+				// Replica 0's state machine is the serving row store.
+				sm = raft.StateMachineFunc(func(index uint64, data []byte) {
+					if index <= appliedMark {
+						return // replayed entry already archived pre-restart
+					}
+					rows, err := DecodeBatch(data)
+					if err != nil {
+						return
+					}
+					if rs.Append(rows...) == nil {
+						sh.applied.Store(index)
+					}
+				})
+			} else if i == 1 {
+				// Replica 1 keeps a full row store too (paper: two of
+				// three replicas have a complete row-store). It is a
+				// standby; queries are served from replica 0.
+				standby, err := rowstore.New(w.sch, w.cfg.RowStore)
+				if err != nil {
+					return err
+				}
+				sm = raft.StateMachineFunc(func(_ uint64, data []byte) {
+					rows, err := DecodeBatch(data)
+					if err != nil {
+						return
+					}
+					_ = standby.Append(rows...)
+				})
+				// Standby archive: release sealed standby segments so
+				// the replica's memory stays bounded.
+				go func() {
+					t := time.NewTicker(w.cfg.ArchiveInterval)
+					defer t.Stop()
+					for {
+						select {
+						case <-w.archiveStop:
+							return
+						case <-t.C:
+							standby.Seal()
+							for _, seg := range standby.Sealed() {
+								standby.Release(seg.ID)
+							}
+						}
+					}
+				}()
+			} else {
+				// Remaining replica stores WAL only (the raft log is
+				// the WAL); it applies nothing.
+				sm = raft.StateMachineFunc(func(uint64, []byte) {})
+			}
+			var storage raft.Storage
+			if ws != nil {
+				storage = ws
+			}
+			node, err := raft.NewNode(raft.Config{
+				ID:              raft.NodeID(i),
+				Peers:           peers,
+				Transport:       g.net.Transport(raft.NodeID(i)),
+				SM:              sm,
+				Storage:         storage,
+				TickInterval:    w.cfg.RaftTick,
+				SyncQueueItems:  w.cfg.RaftSyncQueueItems,
+				SyncQueueBytes:  w.cfg.RaftSyncQueueBytes,
+				ApplyQueueItems: w.cfg.RaftApplyQueueItems,
+				ApplyQueueBytes: w.cfg.RaftApplyQueueBytes,
+				Seed:            int64(id)*101 + int64(i),
+			})
+			if err != nil {
+				g.stop()
+				return err
+			}
+			g.net.Register(node)
+			g.nodes = append(g.nodes, node)
+		}
+		sh.group = g
+	}
+	w.shards[id] = sh
+	return nil
+}
+
+// Shards returns the ids of hosted shards.
+func (w *Worker) Shards() []flow.ShardID {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]flow.ShardID, 0, len(w.shards))
+	for id := range w.shards {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (w *Worker) shard(id flow.ShardID) (*Shard, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	sh, ok := w.shards[id]
+	if !ok {
+		return nil, fmt.Errorf("worker %d: no shard %d", w.cfg.ID, id)
+	}
+	return sh, nil
+}
+
+// Append writes a batch of rows into a shard (phase one of the
+// two-phase write). With replication the batch commits through Raft —
+// the client is acked only after quorum persistence; backpressure from
+// the Raft queues surfaces as raft.ErrBackpressure.
+func (w *Worker) Append(shardID flow.ShardID, rows []schema.Row) error {
+	sh, err := w.shard(shardID)
+	if err != nil {
+		return err
+	}
+	for i, r := range rows {
+		if err := r.Conforms(w.sch); err != nil {
+			return fmt.Errorf("worker %d shard %d: row %d: %w", w.cfg.ID, shardID, i, err)
+		}
+	}
+	if sh.group == nil {
+		return sh.rs.Append(rows...)
+	}
+	data := EncodeBatch(rows)
+	// Find the leader; retry briefly across elections.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if leader := sh.group.leader(); leader != nil {
+			err := leader.Propose(data)
+			if err == nil || err == raft.ErrBackpressure {
+				return err
+			}
+			// ErrNotLeader: leadership moved mid-propose; retry.
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("worker %d shard %d: no raft leader", w.cfg.ID, shardID)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// QueryRealtime executes a query over one shard's row store (the
+// not-yet-archived data), returning a partial result.
+func (w *Worker) QueryRealtime(shardID flow.ShardID, q *query.Query) (*query.Result, error) {
+	sh, err := w.shard(shardID)
+	if err != nil {
+		return nil, err
+	}
+	tenant, minTS, maxTS, ok := q.KeyRange(w.sch)
+	res := query.NewResult(q, w.sch)
+	if !ok {
+		return nil, fmt.Errorf("worker: query must constrain %s with equality", w.sch.TenantCol)
+	}
+	cols := query.EffectiveColumns(q, w.sch)
+	preds, err := q.Compile(w.sch)
+	if err != nil {
+		return nil, err
+	}
+	sh.rs.ScanTenant(tenant, minTS, maxTS, func(r schema.Row) bool {
+		if !query.EvalCompiled(preds, r) {
+			return true
+		}
+		projected := make(schema.Row, len(cols))
+		for i, ci := range cols {
+			projected[i] = r[ci]
+		}
+		res.AddRow(q, projected)
+		return true
+	})
+	return res, nil
+}
+
+// fetcherFor builds the cached, prefetching fetcher for one object.
+func (w *Worker) fetcherFor(path string) logblock.Fetcher {
+	return &prefetch.CachedFetcher{
+		Store:     w.store,
+		Key:       path,
+		Cache:     w.blockCache,
+		BlockSize: w.cfg.BlockSize,
+		Pool:      w.pool,
+	}
+}
+
+// openReader opens a LogBlock reader, consulting the object cache for
+// the parsed manifest+meta.
+func (w *Worker) openReader(path string) (*logblock.Reader, error) {
+	if v, ok := w.objectCache.Get("reader:" + path); ok {
+		return v.(*logblock.Reader), nil
+	}
+	r, err := logblock.OpenReader(w.fetcherFor(path))
+	if err != nil {
+		return nil, err
+	}
+	w.objectCache.Put("reader:"+path, r, int64(r.Meta.RowCount/8+1024))
+	return r, nil
+}
+
+// QueryBlocks executes a query over a set of archived LogBlocks,
+// returning the merged partial result. With a prefetch pool attached,
+// LogBlocks are processed concurrently and the members a block's
+// materialization needs are warmed through the pool first (the paper's
+// Figure 10 pipeline); without one, loading is fully serial — the
+// "without parallel prefetch" baseline.
+func (w *Worker) QueryBlocks(paths []string, q *query.Query, opts query.ExecOptions) (*query.Result, error) {
+	res := query.NewResult(q, w.sch)
+	if w.pool == nil || len(paths) <= 1 {
+		for _, path := range paths {
+			if err := w.queryOneBlock(path, q, opts, res, nil); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, 8)
+		errs []error
+	)
+	for _, path := range paths {
+		path := path
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			part := query.NewResult(q, w.sch)
+			err := w.queryOneBlock(path, q, opts, part, w.pool)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			res.Merge(part)
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return res, nil
+}
+
+func (w *Worker) queryOneBlock(path string, q *query.Query, opts query.ExecOptions, res *query.Result, pool *prefetch.Service) error {
+	r, err := w.openReader(path)
+	if err != nil {
+		return fmt.Errorf("worker %d: open %s: %w", w.cfg.ID, path, err)
+	}
+	matched, err := query.MatchBlock(r, q, opts, &res.Stats)
+	if err != nil {
+		return fmt.Errorf("worker %d: match %s: %w", w.cfg.ID, path, err)
+	}
+	if pool != nil && matched.Any() {
+		w.warmMembers(r, matched, q, pool)
+	}
+	if err := w.foldMatches(r, matched, q, res); err != nil {
+		return fmt.Errorf("worker %d: materialize %s: %w", w.cfg.ID, path, err)
+	}
+	return nil
+}
+
+// warmMembers preloads (in parallel, via the prefetch pool) every data
+// member materialization will touch, so the subsequent column reads are
+// cache hits. Duplicate in-flight loads are merged by the fetcher.
+func (w *Worker) warmMembers(r *logblock.Reader, matched *bitutil.Bitset, q *query.Query, pool *prefetch.Service) {
+	cols := query.EffectiveColumns(q, r.Meta.Schema)
+	if len(cols) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for bi := 0; bi < r.Meta.NumBlocks; bi++ {
+		start, end := r.Meta.BlockRowRange(bi)
+		has := false
+		for i := start; i < end; i++ {
+			if matched.Test(i) {
+				has = true
+				break
+			}
+		}
+		if !has {
+			continue
+		}
+		for _, ci := range cols {
+			ci, bi := ci, bi
+			wg.Add(1)
+			task := func() {
+				defer wg.Done()
+				_, _ = r.ReadMember(logblock.DataMember(ci, bi))
+			}
+			if err := pool.Submit(task); err != nil {
+				task()
+			}
+		}
+	}
+	wg.Wait()
+}
+
+func (w *Worker) foldMatches(r *logblock.Reader, matched *bitutil.Bitset, q *query.Query, res *query.Result) error {
+	if q.CountStar && q.GroupBy == "" {
+		res.Count += int64(matched.Count())
+		return nil
+	}
+	rows, err := query.Materialize(r, matched, query.EffectiveColumns(q, r.Meta.Schema))
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		res.AddRow(q, row)
+	}
+	return nil
+}
+
+// archiveLoop drains every shard's row store on the archive cadence.
+func (w *Worker) archiveLoop() {
+	defer close(w.archiveDone)
+	ticker := time.NewTicker(w.cfg.ArchiveInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.archiveStop:
+			w.drainAll()
+			return
+		case <-ticker.C:
+			w.drainAll()
+		}
+	}
+}
+
+func (w *Worker) drainAll() {
+	w.mu.RLock()
+	shards := make([]*Shard, 0, len(w.shards))
+	for _, sh := range w.shards {
+		shards = append(shards, sh)
+	}
+	w.mu.RUnlock()
+	w.archiveMu.Lock()
+	defer w.archiveMu.Unlock()
+	for _, sh := range shards {
+		w.drainShardLocked(sh)
+	}
+}
+
+// drainShardLocked archives one shard's resident rows and, on success,
+// checkpoints the shard's raft WALs up to the index applied before the
+// seal: those rows are now durable on object storage, so their WAL
+// segments can be recycled (the paper's checkpointing task).
+func (w *Worker) drainShardLocked(sh *Shard) error {
+	appliedBefore := sh.applied.Load()
+	if _, err := w.bld.DrainStore(sh.rs); err != nil {
+		return err
+	}
+	if sh.group != nil && appliedBefore > 0 {
+		for _, ws := range sh.group.storages {
+			if ws != nil {
+				_ = ws.Checkpoint(appliedBefore)
+			}
+		}
+	}
+	return nil
+}
+
+// FlushShard force-archives one shard's resident rows (used when a
+// rebalance removes the shard from a tenant's route: the paper flushes
+// to OSS instead of migrating data).
+func (w *Worker) FlushShard(id flow.ShardID) error {
+	sh, err := w.shard(id)
+	if err != nil {
+		return err
+	}
+	w.archiveMu.Lock()
+	defer w.archiveMu.Unlock()
+	return w.drainShardLocked(sh)
+}
+
+// CompactTenant merges the tenant's small adjacent LogBlocks (see
+// builder.CompactTenant). Serialized with archiving so a drain never
+// races a rewrite of the same catalog entries.
+func (w *Worker) CompactTenant(tenant int64, targetRows int) (int, error) {
+	w.archiveMu.Lock()
+	defer w.archiveMu.Unlock()
+	return w.bld.CompactTenant(tenant, targetRows)
+}
+
+// CacheStats exposes block-cache hit rates for experiments.
+func (w *Worker) CacheStats() (memHits, memMisses, diskHits, diskMisses int64) {
+	return w.blockCache.Stats()
+}
+
+// PurgeCaches empties all cache levels (cold-start experiments).
+func (w *Worker) PurgeCaches() {
+	w.blockCache.Purge()
+	w.objectCache.Purge()
+}
+
+// ResidentRows reports rows not yet archived across shards.
+func (w *Worker) ResidentRows() int64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var total int64
+	for _, sh := range w.shards {
+		rows, _, _ := sh.rs.Stats()
+		total += rows
+	}
+	return total
+}
+
+// Close stops the archive loop (draining once more), raft groups, and
+// the prefetch pool.
+func (w *Worker) Close() {
+	w.stopOnce.Do(func() {
+		close(w.archiveStop)
+		<-w.archiveDone
+		w.mu.Lock()
+		for _, sh := range w.shards {
+			if sh.group != nil {
+				sh.group.stop()
+			}
+			sh.rs.Close()
+		}
+		w.mu.Unlock()
+		if w.pool != nil {
+			w.pool.Close()
+		}
+	})
+}
+
+// EncodeBatch serializes a row batch for raft replication.
+func EncodeBatch(rows []schema.Row) []byte {
+	var out []byte
+	out = bitutil.AppendUvarint(out, uint64(len(rows)))
+	for _, r := range rows {
+		out = r.AppendTo(out)
+	}
+	return out
+}
+
+// DecodeBatch reverses EncodeBatch.
+func DecodeBatch(data []byte) ([]schema.Row, error) {
+	n, off, err := bitutil.Uvarint(data)
+	if err != nil {
+		return nil, fmt.Errorf("worker: batch count: %w", err)
+	}
+	if n > 1<<24 {
+		return nil, fmt.Errorf("worker: implausible batch size %d", n)
+	}
+	rows := make([]schema.Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		r, c, err := schema.DecodeRow(data[off:])
+		if err != nil {
+			return nil, fmt.Errorf("worker: batch row %d: %w", i, err)
+		}
+		off += c
+		rows = append(rows, r)
+	}
+	return rows, nil
+}

@@ -1,0 +1,382 @@
+package worker
+
+import (
+	"testing"
+	"time"
+
+	"logstore/internal/builder"
+	"logstore/internal/flow"
+	"logstore/internal/meta"
+	"logstore/internal/oss"
+	"logstore/internal/query"
+	"logstore/internal/schema"
+	"logstore/internal/workload"
+)
+
+func newWorker(t *testing.T, replicas int) (*Worker, *meta.Manager, *oss.MemStore) {
+	t.Helper()
+	store := oss.NewMemStore()
+	catalog := meta.NewManager()
+	w, err := New(Config{
+		ID:              1,
+		CapacityPerSec:  100000,
+		Replicas:        replicas,
+		ArchiveInterval: 50 * time.Millisecond,
+		RaftTick:        2 * time.Millisecond,
+		Builder:         builder.Config{Table: "request_log"},
+	}, schema.RequestLogSchema(), store, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w, catalog, store
+}
+
+func TestBatchCodec(t *testing.T) {
+	g := workload.NewGenerator(workload.GeneratorConfig{Tenants: 3, Seed: 1})
+	rows := g.Batch(10)
+	data := EncodeBatch(rows)
+	got, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("decoded %d rows", len(got))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if !got[i][j].Equal(rows[i][j]) {
+				t.Fatalf("row %d col %d mismatch", i, j)
+			}
+		}
+	}
+	if _, err := DecodeBatch(data[:3]); err == nil {
+		t.Error("truncated batch accepted")
+	}
+	if _, err := DecodeBatch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+func TestAppendAndRealtimeQueryUnreplicated(t *testing.T) {
+	w, _, _ := newWorker(t, 1)
+	if err := w.AddShard(0); err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewGenerator(workload.GeneratorConfig{Tenants: 3, Theta: 0, Seed: 2, StartMS: 1000})
+	if err := w.Append(0, g.Batch(300)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.Parse("SELECT log FROM request_log WHERE tenant_id = 1 AND ts >= 1000 AND ts <= 2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.QueryRealtime(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no realtime rows")
+	}
+	for _, r := range res.Rows {
+		if len(r) != 1 {
+			t.Fatalf("projection width %d", len(r))
+		}
+	}
+}
+
+func TestAppendReplicatedCommitsThroughRaft(t *testing.T) {
+	w, _, _ := newWorker(t, 3)
+	if err := w.AddShard(0); err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewGenerator(workload.GeneratorConfig{Tenants: 2, Theta: 0, Seed: 3, StartMS: 100})
+	if err := w.Append(0, g.Batch(50)); err != nil {
+		t.Fatal(err)
+	}
+	// Raft apply is asynchronous past commit: wait for visibility.
+	q, err := query.Parse("SELECT COUNT(*) FROM request_log WHERE tenant_id = 0 AND ts >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := w.QueryRealtime(0, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("replicated rows never became visible")
+}
+
+func TestBackgroundArchiveAndBlockQuery(t *testing.T) {
+	w, catalog, _ := newWorker(t, 1)
+	if err := w.AddShard(0); err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewGenerator(workload.GeneratorConfig{Tenants: 4, Theta: 0, Seed: 4, StartMS: 1000})
+	if err := w.Append(0, g.Batch(500)); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the archive loop to drain everything to OSS.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && w.ResidentRows() > 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if w.ResidentRows() != 0 {
+		t.Fatal("archive loop never drained")
+	}
+	blocks := catalog.Prune(1, 0, 1<<60)
+	if len(blocks) == 0 {
+		t.Fatal("tenant 1 has no archived blocks")
+	}
+	paths := make([]string, len(blocks))
+	for i, b := range blocks {
+		paths[i] = b.Path
+	}
+	q, err := query.Parse("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.QueryBlocks(paths, q, query.ExecOptions{DataSkipping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, b := range blocks {
+		want += b.Rows
+	}
+	if res.Count != want {
+		t.Fatalf("block query count %d, catalog says %d", res.Count, want)
+	}
+	if res.Stats.IndexLookups == 0 {
+		t.Error("expected index usage")
+	}
+}
+
+func TestQueryRequiresTenantPredicate(t *testing.T) {
+	w, _, _ := newWorker(t, 1)
+	if err := w.AddShard(0); err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.Parse("SELECT log FROM request_log WHERE latency > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.QueryRealtime(0, q); err == nil {
+		t.Error("tenant-free query accepted")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	w, _, _ := newWorker(t, 1)
+	if err := w.AddShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(99, nil); err == nil {
+		t.Error("unknown shard accepted")
+	}
+	bad := []schema.Row{{schema.IntValue(1)}}
+	if err := w.Append(0, bad); err == nil {
+		t.Error("malformed row accepted")
+	}
+}
+
+func TestAddShardIdempotent(t *testing.T) {
+	w, _, _ := newWorker(t, 1)
+	if err := w.AddShard(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddShard(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.Shards()); got != 1 {
+		t.Errorf("shards = %d", got)
+	}
+	if w.ID() != flow.WorkerID(1) || w.Capacity() != 100000 {
+		t.Error("identity accessors broken")
+	}
+}
+
+func TestFlushShard(t *testing.T) {
+	w, catalog, _ := newWorker(t, 1)
+	if err := w.AddShard(0); err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewGenerator(workload.GeneratorConfig{Tenants: 2, Theta: 0, Seed: 6, StartMS: 10})
+	if err := w.Append(0, g.Batch(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.FlushShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if w.ResidentRows() != 0 {
+		t.Error("flush left resident rows")
+	}
+	if len(catalog.Tenants()) == 0 {
+		t.Error("flush archived nothing")
+	}
+	if err := w.FlushShard(42); err == nil {
+		t.Error("unknown shard flush accepted")
+	}
+}
+
+func TestWarmCacheFewerFetches(t *testing.T) {
+	store := oss.NewMemStore()
+	counting := oss.NewCountingStore(store, nil)
+	catalog := meta.NewManager()
+	w, err := New(Config{
+		ID: 2, Replicas: 1, ArchiveInterval: 20 * time.Millisecond,
+		Builder: builder.Config{Table: "request_log"},
+	}, schema.RequestLogSchema(), counting, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	if err := w.AddShard(0); err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewGenerator(workload.GeneratorConfig{Tenants: 1, Theta: 0, Seed: 7, StartMS: 0})
+	if err := w.Append(0, g.Batch(2000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.FlushShard(0); err != nil {
+		t.Fatal(err)
+	}
+	blocks := catalog.Prune(0, 0, 1<<60)
+	paths := []string{}
+	for _, b := range blocks {
+		paths = append(paths, b.Path)
+	}
+	q, err := query.Parse("SELECT COUNT(*) FROM request_log WHERE tenant_id = 0 AND latency >= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.QueryBlocks(paths, q, query.ExecOptions{DataSkipping: true}); err != nil {
+		t.Fatal(err)
+	}
+	cold := counting.Stats().RangeGets.Value()
+	if _, err := w.QueryBlocks(paths, q, query.ExecOptions{DataSkipping: true}); err != nil {
+		t.Fatal(err)
+	}
+	if warm := counting.Stats().RangeGets.Value() - cold; warm != 0 {
+		t.Errorf("warm query issued %d OSS range reads, want 0", warm)
+	}
+	memHits, _, _, _ := w.CacheStats()
+	_ = memHits // reader cache may absorb everything; range-read count is the assertion
+	w.PurgeCaches()
+	if _, err := w.QueryBlocks(paths, q, query.ExecOptions{DataSkipping: true}); err != nil {
+		t.Fatal(err)
+	}
+	if afterPurge := counting.Stats().RangeGets.Value(); afterPurge == cold {
+		t.Error("purge should force re-fetching")
+	}
+}
+
+func TestQueryBlocksParallelWithWarmup(t *testing.T) {
+	// Exercise the parallel path (pool attached, many paths) including
+	// member warm-up and row materialization.
+	store := oss.NewMemStore()
+	catalog := meta.NewManager()
+	w, err := New(Config{
+		ID: 3, Replicas: 1, ArchiveInterval: time.Hour,
+		PrefetchThreads: 8,
+		Builder:         builder.Config{Table: "request_log", MaxRowsPerBlock: 50},
+	}, schema.RequestLogSchema(), store, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	if err := w.AddShard(0); err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewGenerator(workload.GeneratorConfig{Tenants: 1, Theta: 0, Seed: 20, StartMS: 100})
+	if err := w.Append(0, g.Batch(400)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.FlushShard(0); err != nil {
+		t.Fatal(err)
+	}
+	blocks := catalog.Blocks(0)
+	if len(blocks) < 4 {
+		t.Fatalf("need several blocks, got %d", len(blocks))
+	}
+	paths := make([]string, len(blocks))
+	for i, b := range blocks {
+		paths[i] = b.Path
+	}
+	// Materializing query (not COUNT) triggers warmMembers + foldMatches.
+	q, err := query.Parse("SELECT ip, log FROM request_log WHERE tenant_id = 0 AND latency >= 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.QueryBlocks(paths, q, query.ExecOptions{DataSkipping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows materialized")
+	}
+	for _, r := range res.Rows {
+		if len(r) != 2 || r[0].S == "" {
+			t.Fatalf("bad projection: %+v", r)
+		}
+	}
+	// GROUP BY through the parallel path.
+	q2, err := query.Parse("SELECT api, COUNT(*) FROM request_log WHERE tenant_id = 0 GROUP BY api ORDER BY count DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := w.QueryBlocks(paths, q2, query.ExecOptions{DataSkipping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res2.Finalize(q2); err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Groups) == 0 {
+		t.Fatal("no groups")
+	}
+	// Errors propagate from the parallel path.
+	if _, err := w.QueryBlocks([]string{"missing/object"}, q, query.ExecOptions{}); err == nil {
+		t.Error("missing object accepted")
+	}
+}
+
+func TestWorkerCompactTenant(t *testing.T) {
+	store := oss.NewMemStore()
+	catalog := meta.NewManager()
+	w, err := New(Config{
+		ID: 4, Replicas: 1, ArchiveInterval: time.Hour,
+		Builder: builder.Config{Table: "request_log", MaxRowsPerBlock: 40},
+	}, schema.RequestLogSchema(), store, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	if err := w.AddShard(0); err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewGenerator(workload.GeneratorConfig{Tenants: 1, Theta: 0, Seed: 21, StartMS: 10})
+	if err := w.Append(0, g.Batch(200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.FlushShard(0); err != nil {
+		t.Fatal(err)
+	}
+	before := len(catalog.Blocks(0))
+	merged, err := w.CompactTenant(0, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != before {
+		t.Errorf("merged %d of %d blocks", merged, before)
+	}
+	if got := len(catalog.Blocks(0)); got != 1 {
+		t.Errorf("blocks after worker compaction = %d", got)
+	}
+}

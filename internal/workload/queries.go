@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// QuerySpec is one generated retrieval query, carried both as structured
+// fields (for direct planner use) and as SQL text using the paper's
+// template (§5.1):
+//
+//	SELECT log FROM request_log WHERE tenant_id = ? AND ts >= ? AND
+//	ts <= ? [AND ip = ?] [AND latency >= ?] [AND fail = ?]
+type QuerySpec struct {
+	Tenant  int64
+	StartMS int64
+	EndMS   int64
+	IP      string // "" = no ip predicate
+	MinLat  int64  // <0 = no latency predicate
+	Fail    string // "" = no fail predicate
+	SQL     string
+}
+
+// QuerySetConfig configures the query-set generator. The paper generates
+// 6000 queries: six per tenant with different filtering predicates and
+// time ranges over a 48-hour history.
+type QuerySetConfig struct {
+	Tenants        int
+	PerTenant      int   // paper: 6
+	HistoryStartMS int64 // start of the ingested history
+	HistoryEndMS   int64 // end of the ingested history
+	Seed           int64
+}
+
+// GenerateQueries builds the query set. Query shapes per tenant cycle
+// through: full-range scan, narrow time slice, ip-equality, latency
+// threshold, failure search, and a fully-predicated needle query.
+func GenerateQueries(cfg QuerySetConfig) []QuerySpec {
+	if cfg.PerTenant <= 0 {
+		cfg.PerTenant = 6
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	span := cfg.HistoryEndMS - cfg.HistoryStartMS
+	if span <= 0 {
+		span = 1
+	}
+	out := make([]QuerySpec, 0, cfg.Tenants*cfg.PerTenant)
+	for t := 0; t < cfg.Tenants; t++ {
+		for qi := 0; qi < cfg.PerTenant; qi++ {
+			q := QuerySpec{Tenant: int64(t), MinLat: -1}
+			switch qi % 6 {
+			case 0: // full history scan
+				q.StartMS, q.EndMS = cfg.HistoryStartMS, cfg.HistoryEndMS
+			case 1: // narrow 1-hour slice
+				off := rng.Int63n(max64(span-3600_000, 1))
+				q.StartMS = cfg.HistoryStartMS + off
+				q.EndMS = q.StartMS + 3600_000
+			case 2: // ip equality over a half-history window
+				q.StartMS = cfg.HistoryStartMS + rng.Int63n(max64(span/2, 1))
+				q.EndMS = q.StartMS + span/2
+				q.IP = fmt.Sprintf("192.168.%d.%d", rng.Intn(4), 1+rng.Intn(250))
+			case 3: // slow requests
+				q.StartMS, q.EndMS = cfg.HistoryStartMS, cfg.HistoryEndMS
+				q.MinLat = 100
+			case 4: // failures in a 6-hour window
+				off := rng.Int63n(max64(span-6*3600_000, 1))
+				q.StartMS = cfg.HistoryStartMS + off
+				q.EndMS = q.StartMS + 6*3600_000
+				q.Fail = "true"
+			default: // fully predicated needle (the paper's sample SQL)
+				off := rng.Int63n(max64(span-3600_000, 1))
+				q.StartMS = cfg.HistoryStartMS + off
+				q.EndMS = q.StartMS + 3600_000
+				q.IP = fmt.Sprintf("192.168.%d.%d", rng.Intn(4), 1+rng.Intn(250))
+				q.MinLat = 100
+				q.Fail = "false"
+			}
+			if q.EndMS > cfg.HistoryEndMS {
+				q.EndMS = cfg.HistoryEndMS
+			}
+			q.SQL = q.renderSQL()
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func (q *QuerySpec) renderSQL() string {
+	sql := fmt.Sprintf("SELECT log FROM request_log WHERE tenant_id = %d AND ts >= %d AND ts <= %d",
+		q.Tenant, q.StartMS, q.EndMS)
+	if q.IP != "" {
+		sql += fmt.Sprintf(" AND ip = '%s'", q.IP)
+	}
+	if q.MinLat >= 0 {
+		sql += fmt.Sprintf(" AND latency >= %d", q.MinLat)
+	}
+	if q.Fail != "" {
+		sql += fmt.Sprintf(" AND fail = '%s'", q.Fail)
+	}
+	return sql
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestZipfianRange(t *testing.T) {
+	z := NewZipfian(100, 0.99, 1)
+	for i := 0; i < 100000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Next() = %d, out of [0,100)", v)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	// At θ=0.99, rank 0 must dominate; empirical frequency should be
+	// close to the analytic weight.
+	z := NewZipfian(1000, 0.99, 42)
+	counts := make([]int, 1000)
+	const n = 500000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	w0 := z.Weight(0)
+	f0 := float64(counts[0]) / n
+	if math.Abs(f0-w0)/w0 > 0.1 {
+		t.Errorf("rank-0 frequency %v vs analytic weight %v (>10%% off)", f0, w0)
+	}
+	// Monotone-ish decay: head must exceed deep tail decisively.
+	if counts[0] < counts[500]*10 {
+		t.Errorf("insufficient skew: head=%d rank500=%d", counts[0], counts[500])
+	}
+}
+
+func TestZipfianUniform(t *testing.T) {
+	// θ=0 is uniform: all ranks within 3x of expectation.
+	z := NewZipfian(100, 0, 7)
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	exp := float64(n) / 100
+	for r, c := range counts {
+		if float64(c) < exp/3 || float64(c) > exp*3 {
+			t.Errorf("θ=0 rank %d count %d far from uniform expectation %v", r, c, exp)
+		}
+	}
+}
+
+func TestZipfianWeightsSumToOne(t *testing.T) {
+	for _, theta := range []float64{0, 0.4, 0.8, 0.99} {
+		z := NewZipfian(500, theta, 1)
+		var sum float64
+		for k := 0; k < 500; k++ {
+			sum += z.Weight(k)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("θ=%v: weights sum to %v", theta, sum)
+		}
+		if z.Weight(-1) != 0 || z.Weight(500) != 0 {
+			t.Error("out-of-range weight should be 0")
+		}
+	}
+}
+
+func TestZipfianDegenerate(t *testing.T) {
+	z := NewZipfian(1, 0.99, 1)
+	for i := 0; i < 10; i++ {
+		if z.Next() != 0 {
+			t.Fatal("n=1 must always return 0")
+		}
+	}
+	z = NewZipfian(0, -1, 1) // clamped to n=1, θ=0
+	if z.N() != 1 || z.Theta() != 0 {
+		t.Errorf("clamping failed: n=%d θ=%v", z.N(), z.Theta())
+	}
+	z = NewZipfian(10, 1.5, 1) // θ clamped below 1
+	if z.Theta() >= 1 {
+		t.Errorf("θ not clamped: %v", z.Theta())
+	}
+}
+
+func TestZipfianDeterministic(t *testing.T) {
+	a := NewZipfian(100, 0.99, 5)
+	b := NewZipfian(100, 0.99, 5)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must produce the same sequence")
+		}
+	}
+}
+
+func TestGeneratorRows(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{Tenants: 50, Theta: 0.99, Seed: 1, StartMS: 1000, StepMS: 2})
+	sch := g.Schema
+	rows := g.Batch(500)
+	if len(rows) != 500 {
+		t.Fatalf("Batch returned %d rows", len(rows))
+	}
+	prevTS := int64(0)
+	for i, r := range rows {
+		if err := r.Conforms(sch); err != nil {
+			t.Fatalf("row %d does not conform: %v", i, err)
+		}
+		if tid := r.Tenant(sch); tid < 0 || tid >= 50 {
+			t.Fatalf("row %d tenant %d out of range", i, tid)
+		}
+		ts := r.Time(sch)
+		if ts <= prevTS {
+			t.Fatalf("row %d timestamp %d not increasing (prev %d)", i, ts, prevTS)
+		}
+		prevTS = ts
+		lat := r[sch.ColumnIndex("latency")].I
+		if lat < 1 || lat > 30000 {
+			t.Fatalf("row %d latency %d out of range", i, lat)
+		}
+		fail := r[sch.ColumnIndex("fail")].S
+		if fail != "true" && fail != "false" {
+			t.Fatalf("row %d fail = %q", i, fail)
+		}
+	}
+	if g.NowMS() != 1000+500*2 {
+		t.Errorf("NowMS = %d", g.NowMS())
+	}
+}
+
+func TestGeneratorTenantSkew(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{Tenants: 100, Theta: 0.99, Seed: 3})
+	counts := make(map[int64]int)
+	for i := 0; i < 50000; i++ {
+		counts[g.Next().Tenant(g.Schema)]++
+	}
+	if counts[0] < counts[50]*5 {
+		t.Errorf("tenant skew too weak: t0=%d t50=%d", counts[0], counts[50])
+	}
+}
+
+func TestDiurnalRate(t *testing.T) {
+	peak := DiurnalRate(16, 0.3)
+	trough := DiurnalRate(4, 0.3)
+	if peak <= trough {
+		t.Errorf("peak %v should exceed trough %v", peak, trough)
+	}
+	for h := 0.0; h < 24; h += 0.5 {
+		v := DiurnalRate(h, 0.3)
+		if v < 0.3-1e-9 || v > 1+1e-9 {
+			t.Errorf("hour %v: rate %v outside [0.3, 1]", h, v)
+		}
+	}
+	// Clamping of minFrac.
+	if v := DiurnalRate(12, -1); v < 0 || v > 1 {
+		t.Errorf("negative minFrac not clamped: %v", v)
+	}
+	if v := DiurnalRate(12, 2); math.Abs(v-1) > 1e-9 {
+		t.Errorf("minFrac>1 should pin rate to 1, got %v", v)
+	}
+}
+
+func TestGenerateQueries(t *testing.T) {
+	qs := GenerateQueries(QuerySetConfig{
+		Tenants:        10,
+		PerTenant:      6,
+		HistoryStartMS: 0,
+		HistoryEndMS:   48 * 3600_000,
+		Seed:           1,
+	})
+	if len(qs) != 60 {
+		t.Fatalf("got %d queries, want 60", len(qs))
+	}
+	shapes := map[string]bool{}
+	for i, q := range qs {
+		if q.Tenant != int64(i/6) {
+			t.Errorf("query %d tenant %d", i, q.Tenant)
+		}
+		if q.StartMS < 0 || q.EndMS > 48*3600_000 || q.StartMS > q.EndMS {
+			t.Errorf("query %d bad range [%d, %d]", i, q.StartMS, q.EndMS)
+		}
+		if !strings.HasPrefix(q.SQL, "SELECT log FROM request_log WHERE tenant_id = ") {
+			t.Errorf("query %d SQL = %q", i, q.SQL)
+		}
+		if !strings.Contains(q.SQL, "ts >= ") || !strings.Contains(q.SQL, "ts <= ") {
+			t.Errorf("query %d SQL missing time range: %q", i, q.SQL)
+		}
+		key := ""
+		if q.IP != "" {
+			key += "ip"
+			if !strings.Contains(q.SQL, "ip = '"+q.IP+"'") {
+				t.Errorf("query %d SQL missing ip predicate", i)
+			}
+		}
+		if q.MinLat >= 0 {
+			key += "lat"
+			if !strings.Contains(q.SQL, "latency >= ") {
+				t.Errorf("query %d SQL missing latency predicate", i)
+			}
+		}
+		if q.Fail != "" {
+			key += "fail"
+			if !strings.Contains(q.SQL, "fail = '"+q.Fail+"'") {
+				t.Errorf("query %d SQL missing fail predicate", i)
+			}
+		}
+		shapes[key] = true
+	}
+	// The six shapes include a bare scan, ip-only, latency-only,
+	// fail-only, and the fully predicated needle.
+	for _, want := range []string{"", "ip", "lat", "fail", "iplatfail"} {
+		if !shapes[want] {
+			t.Errorf("missing query shape %q (got %v)", want, shapes)
+		}
+	}
+}
+
+func TestGenerateQueriesDefaults(t *testing.T) {
+	qs := GenerateQueries(QuerySetConfig{Tenants: 2, HistoryEndMS: 1000})
+	if len(qs) != 12 {
+		t.Errorf("default PerTenant should be 6, got %d queries", len(qs))
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	z := NewZipfian(100000, 0.99, 1)
+	for i := 0; i < b.N; i++ {
+		z.Next()
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g := NewGenerator(GeneratorConfig{Tenants: 1000, Theta: 0.99, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

@@ -1,0 +1,91 @@
+// Package workload re-implements the YCSB-style workload machinery the
+// paper uses for its evaluation (§6.1): a θ-parameterized Zipfian
+// generator over tenant ranks, a log-record generator for the
+// request_log sample table, the diurnal traffic curve from Figure 1, and
+// the per-tenant query-set generator used in the query experiments.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipfian draws values in [0, n) with P(k) ∝ 1/(k+1)^θ, matching the
+// generator in the YCSB framework. θ = 0 degenerates to uniform; the
+// paper uses θ = 0.99 to mirror the production skew in Figure 2.
+//
+// This is the standard Gray et al. rejection-free construction used by
+// YCSB (zeta-based), so weights follow the paper exactly: the weight of
+// tenant k is proportional to (1/k)^θ.
+type Zipfian struct {
+	n     int
+	theta float64
+
+	alpha, zetan, eta float64
+	rng               *rand.Rand
+}
+
+// NewZipfian returns a Zipfian generator over [0, n). n must be >= 1.
+// theta must be in [0, 1); YCSB's default of 0.99 matches the paper.
+func NewZipfian(n int, theta float64, seed int64) *Zipfian {
+	if n < 1 {
+		n = 1
+	}
+	if theta < 0 {
+		theta = 0
+	}
+	if theta >= 1 {
+		theta = 0.9999
+	}
+	z := &Zipfian{
+		n:     n,
+		theta: theta,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	z.zetan = zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z
+}
+
+// zeta computes the generalized harmonic number H_{n,θ}.
+func zeta(n int, theta float64) float64 {
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next value in [0, n). Rank 0 is the hottest.
+func (z *Zipfian) Next() int {
+	if z.n == 1 {
+		return 0
+	}
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Weight returns the relative weight of rank k (0-based): (1/(k+1))^θ,
+// normalized so that all weights sum to 1. Used to compute expected
+// per-tenant traffic shares analytically.
+func (z *Zipfian) Weight(k int) float64 {
+	if k < 0 || k >= z.n {
+		return 0
+	}
+	return (1.0 / math.Pow(float64(k+1), z.theta)) / z.zetan
+}
+
+// N returns the domain size.
+func (z *Zipfian) N() int { return z.n }
+
+// Theta returns the skew parameter.
+func (z *Zipfian) Theta() float64 { return z.theta }

@@ -1,0 +1,597 @@
+// Package logstore is a cloud-native, multi-tenant log database — a
+// from-scratch Go implementation of the system described in "LogStore:
+// A Cloud-Native and Multi-Tenant Log Database" (SIGMOD 2021).
+//
+// A Cluster embeds the whole system in-process: a controller (metadata
+// catalog, hotspot manager running the max-flow traffic scheduler,
+// background expiration), a set of worker nodes (Raft-replicated
+// write-optimized row stores per shard, background conversion to
+// columnar LogBlocks on object storage, multi-level caches and parallel
+// prefetch on the read path), and brokers (SQL parsing, weighted tenant
+// routing, scatter-gather execution). Object storage is pluggable; the
+// default is an in-memory store, and oss.SimStore adds realistic
+// latency and bandwidth limits.
+//
+// Quickstart:
+//
+//	c, err := logstore.Open(logstore.Config{})
+//	defer c.Close()
+//	c.Append(rows...)
+//	res, err := c.Query("SELECT log FROM request_log WHERE tenant_id = 7 AND ts >= 0 AND ts <= 1e12")
+package logstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"logstore/internal/broker"
+	"logstore/internal/builder"
+	"logstore/internal/controller"
+	"logstore/internal/flow"
+	"logstore/internal/meta"
+	"logstore/internal/oss"
+	"logstore/internal/query"
+	"logstore/internal/rowstore"
+	"logstore/internal/schema"
+	"logstore/internal/worker"
+)
+
+// Re-exported types: the public API surface of the library.
+type (
+	// Result is a finalized query result.
+	Result = query.Result
+	// GroupCount is one GROUP BY bucket of a Result.
+	GroupCount = query.GroupCount
+	// Row is one log record, positionally matching the table schema.
+	Row = schema.Row
+	// Value is one typed cell.
+	Value = schema.Value
+	// Schema describes a log table.
+	Schema = schema.Schema
+	// Column is one table attribute.
+	Column = schema.Column
+	// BlockInfo is a catalog entry for one archived LogBlock.
+	BlockInfo = meta.BlockInfo
+	// Algorithm selects the traffic-scheduling algorithm.
+	Algorithm = flow.Algorithm
+	// TenantID identifies a tenant.
+	TenantID = flow.TenantID
+)
+
+// Traffic-scheduling algorithm choices.
+const (
+	AlgorithmNone    = flow.AlgorithmNone
+	AlgorithmGreedy  = flow.AlgorithmGreedy
+	AlgorithmMaxFlow = flow.AlgorithmMaxFlow
+)
+
+// IntValue builds an integer cell.
+func IntValue(v int64) Value { return schema.IntValue(v) }
+
+// StringValue builds a string cell.
+func StringValue(s string) Value { return schema.StringValue(s) }
+
+// RequestLogSchema returns the paper's sample application-log table.
+func RequestLogSchema() *Schema { return schema.RequestLogSchema() }
+
+// Config configures an embedded cluster. The zero value is a sensible
+// small deployment: 3 workers × 4 shards, 3-way replication, max-flow
+// scheduling, in-memory object storage.
+type Config struct {
+	// Schema is the log table (nil = RequestLogSchema).
+	Schema *Schema
+	// Workers is the number of worker nodes (0 = 3).
+	Workers int
+	// ShardsPerWorker is the initial shard count per worker (0 = 4).
+	ShardsPerWorker int
+	// Replicas per shard Raft group (0 = 3; 1 disables replication).
+	Replicas int
+	// Store is the object storage backend (nil = in-memory MemStore).
+	// Wrap with oss.NewSimStore for realistic latency experiments.
+	Store oss.Store
+	// Algorithm selects traffic scheduling (default AlgorithmMaxFlow;
+	// use AlgorithmNone to reproduce the unbalanced baseline).
+	Algorithm Algorithm
+	// WorkerCapacityPerSec is c(D_k) (0 = 400_000 rows/s).
+	WorkerCapacityPerSec float64
+	// ShardCapacityPerSec is c(P_j) (0 = 100_000 rows/s).
+	ShardCapacityPerSec float64
+	// TenantShardLimit is f_max, one tenant's cap per shard
+	// (0 = 100_000 rows/s).
+	TenantShardLimit float64
+	// BalanceInterval is the hotspot-manager cadence (paper: 300 s;
+	// 0 disables the loop — call RebalanceNow for manual control).
+	BalanceInterval time.Duration
+	// ExpireInterval is the retention-enforcement cadence (0 disables).
+	ExpireInterval time.Duration
+	// ArchiveInterval is the row→LogBlock conversion cadence (0 = 1 s).
+	ArchiveInterval time.Duration
+	// MaxSegmentRows seals row-store segments at a row count
+	// (0 = 50_000).
+	MaxSegmentRows int
+	// DataSkipping toggles SMA+index pruning on archived reads
+	// (nil = enabled).
+	DataSkipping *bool
+	// PrefetchThreads sizes each worker's parallel prefetch pool
+	// (0 = 32; negative disables prefetch: serial loading).
+	PrefetchThreads int
+	// CacheMemoryBytes sizes each worker's memory block cache
+	// (0 = 64 MiB).
+	CacheMemoryBytes int64
+	// CacheDir enables each worker's SSD cache level under this
+	// directory ("" = memory-only).
+	CacheDir string
+	// CacheDiskBytes sizes the SSD level (0 with CacheDir set = 1 GiB).
+	CacheDiskBytes int64
+	// RaftTick accelerates raft timing (0 = 10 ms).
+	RaftTick time.Duration
+	// DataDir, when set, puts every shard replica's raft log on disk
+	// (WAL-backed) under DataDir/worker-N/, surviving process restarts.
+	DataDir string
+	// RaftQueueItems bounds each shard's Raft sync/apply queues (BFC);
+	// 0 keeps raft defaults. Small values trip backpressure earlier.
+	RaftQueueItems int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Schema == nil {
+		out.Schema = schema.RequestLogSchema()
+	}
+	if out.Workers <= 0 {
+		out.Workers = 3
+	}
+	if out.ShardsPerWorker <= 0 {
+		out.ShardsPerWorker = 4
+	}
+	if out.Replicas <= 0 {
+		out.Replicas = 3
+	}
+	if out.Store == nil {
+		out.Store = oss.NewMemStore()
+	}
+	if out.WorkerCapacityPerSec <= 0 {
+		out.WorkerCapacityPerSec = 400_000
+	}
+	if out.ShardCapacityPerSec <= 0 {
+		out.ShardCapacityPerSec = 100_000
+	}
+	if out.TenantShardLimit <= 0 {
+		out.TenantShardLimit = 100_000
+	}
+	if out.ArchiveInterval <= 0 {
+		out.ArchiveInterval = time.Second
+	}
+	if out.MaxSegmentRows <= 0 {
+		out.MaxSegmentRows = 50_000
+	}
+	if out.PrefetchThreads == 0 {
+		out.PrefetchThreads = 32
+	}
+	if out.CacheMemoryBytes <= 0 {
+		out.CacheMemoryBytes = 64 << 20
+	}
+	if out.CacheDir != "" && out.CacheDiskBytes <= 0 {
+		out.CacheDiskBytes = 1 << 30
+	}
+	return out
+}
+
+// Cluster is an embedded LogStore deployment.
+type Cluster struct {
+	cfg     Config
+	sch     *schema.Schema
+	store   oss.Store
+	catalog *meta.Manager
+	ctrl    *controller.Controller
+
+	mu         sync.RWMutex
+	workers    map[flow.WorkerID]*worker.Worker
+	shardOwner map[flow.ShardID]flow.WorkerID
+	nextShard  flow.ShardID
+	nextWorker flow.WorkerID
+
+	brokers []*broker.Broker
+	nextBrk atomic.Uint64
+
+	closed atomic.Bool
+}
+
+// Open builds and starts a cluster.
+func Open(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Schema.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:        cfg,
+		sch:        cfg.Schema,
+		store:      cfg.Store,
+		catalog:    meta.NewManager(),
+		workers:    make(map[flow.WorkerID]*worker.Worker),
+		shardOwner: make(map[flow.ShardID]flow.WorkerID),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		if _, err := c.addWorkerLocked(); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	bal := flow.DefaultBalancerConfig()
+	bal.TenantShardLimit = cfg.TenantShardLimit
+	ctrl, err := controller.New(controller.Config{
+		Algorithm:       cfg.Algorithm,
+		Balancer:        bal,
+		BalanceInterval: cfg.BalanceInterval,
+		ExpireInterval:  cfg.ExpireInterval,
+		CheckpointKey:   "meta/checkpoint.json",
+	}, c.topologyLocked(), nil, c.catalog, c.store, c.scaleOut)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.ctrl = ctrl
+	// Recover the catalog from the last checkpoint when the object
+	// store already holds one (reopening a cluster over existing data).
+	if _, err := c.store.Head("meta/checkpoint.json"); err == nil {
+		if err := ctrl.Recover(); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("logstore: recover catalog: %w", err)
+		}
+	}
+
+	exec := query.ExecOptions{DataSkipping: true}
+	if cfg.DataSkipping != nil {
+		exec.DataSkipping = *cfg.DataSkipping
+	}
+	// Two brokers behind the round-robin "SLB".
+	for i := 0; i < 2; i++ {
+		r := flow.NewRouter(c.shardIDsLocked(), int64(i)+1)
+		ctrl.Scheduler().Subscribe(r.Update)
+		b, err := broker.New(broker.Config{ID: i, Exec: exec, Seed: int64(i) + 100},
+			c.sch, r, ctrl.Collector(), c.catalog, c)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.brokers = append(c.brokers, b)
+	}
+	ctrl.Start()
+	return c, nil
+}
+
+// addWorkerLocked provisions one worker with the configured shard count.
+// Callers hold no lock during Open; ScaleOut takes c.mu.
+func (c *Cluster) addWorkerLocked() (*worker.Worker, error) {
+	id := c.nextWorker
+	c.nextWorker++
+	cacheDir := ""
+	if c.cfg.CacheDir != "" {
+		cacheDir = fmt.Sprintf("%s/worker-%d", c.cfg.CacheDir, id)
+	}
+	prefetchThreads := c.cfg.PrefetchThreads
+	disabled := false
+	if prefetchThreads < 0 {
+		prefetchThreads = 1
+		disabled = true
+	}
+	dataDir := ""
+	if c.cfg.DataDir != "" {
+		dataDir = fmt.Sprintf("%s/worker-%d", c.cfg.DataDir, id)
+	}
+	w, err := worker.New(worker.Config{
+		ID:               id,
+		CapacityPerSec:   c.cfg.WorkerCapacityPerSec,
+		Replicas:         c.cfg.Replicas,
+		MemoryCacheBytes: c.cfg.CacheMemoryBytes,
+		DiskCacheBytes:   c.cfg.CacheDiskBytes,
+		DiskCacheDir:     cacheDir,
+		PrefetchThreads:  prefetchThreads,
+		PrefetchDisabled: disabled,
+		ArchiveInterval:  c.cfg.ArchiveInterval,
+		// TenantIndex implements the paper's future-work real-time-store
+		// optimization: sealed segments index rows by tenant (~50×
+		// faster tenant scans) without touching the append path.
+		RowStore:            rowstore.Options{MaxSegmentRows: c.cfg.MaxSegmentRows, TenantIndex: true},
+		Builder:             builder.Config{Table: c.sch.Name},
+		RaftTick:            c.cfg.RaftTick,
+		DataDir:             dataDir,
+		RaftSyncQueueItems:  c.cfg.RaftQueueItems,
+		RaftApplyQueueItems: c.cfg.RaftQueueItems,
+	}, c.sch, c.store, c.catalog)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < c.cfg.ShardsPerWorker; s++ {
+		sid := c.nextShard
+		c.nextShard++
+		if err := w.AddShard(sid); err != nil {
+			w.Close()
+			return nil, err
+		}
+		c.shardOwner[sid] = id
+	}
+	c.workers[id] = w
+	return w, nil
+}
+
+func (c *Cluster) topologyLocked() *flow.Topology {
+	topo := &flow.Topology{
+		ShardWorker:    make(map[flow.ShardID]flow.WorkerID, len(c.shardOwner)),
+		ShardCapacity:  make(map[flow.ShardID]float64, len(c.shardOwner)),
+		WorkerCapacity: make(map[flow.WorkerID]float64, len(c.workers)),
+	}
+	for s, w := range c.shardOwner {
+		topo.ShardWorker[s] = w
+		topo.ShardCapacity[s] = c.cfg.ShardCapacityPerSec
+	}
+	for id, w := range c.workers {
+		topo.WorkerCapacity[id] = w.Capacity()
+	}
+	return topo
+}
+
+func (c *Cluster) shardIDsLocked() []flow.ShardID {
+	out := make([]flow.ShardID, 0, len(c.shardOwner))
+	for s := range c.shardOwner {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// scaleOut is the controller's ScaleFunc: provision one more worker.
+func (c *Cluster) scaleOut() (*flow.Topology, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, false
+	}
+	if _, err := c.addWorkerLocked(); err != nil {
+		return nil, false
+	}
+	return c.topologyLocked(), true
+}
+
+// ---- broker.WorkerPool ----
+
+// Worker implements broker.WorkerPool.
+func (c *Cluster) Worker(id flow.WorkerID) (*worker.Worker, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	w, ok := c.workers[id]
+	return w, ok
+}
+
+// ShardOwner implements broker.WorkerPool.
+func (c *Cluster) ShardOwner(s flow.ShardID) (flow.WorkerID, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	w, ok := c.shardOwner[s]
+	return w, ok
+}
+
+// WorkerIDs implements broker.WorkerPool.
+func (c *Cluster) WorkerIDs() []flow.WorkerID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]flow.WorkerID, 0, len(c.workers))
+	for id := range c.workers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ---- client API ----
+
+func (c *Cluster) broker() *broker.Broker {
+	// Round-robin dispatch, standing in for the SLB.
+	i := c.nextBrk.Add(1)
+	return c.brokers[int(i)%len(c.brokers)]
+}
+
+// Append writes log rows; they are immediately visible to queries
+// (real-time reads) and archived to object storage in the background.
+// Under extreme load it returns a backpressure error; callers should
+// slow down and retry.
+func (c *Cluster) Append(rows ...Row) error {
+	if c.closed.Load() {
+		return fmt.Errorf("logstore: cluster closed")
+	}
+	for _, r := range rows {
+		c.ctrl.Scheduler().EnsureTenant(flow.TenantID(r.Tenant(c.sch)))
+	}
+	return c.broker().Append(rows)
+}
+
+// Query executes a SQL query (see internal/query for the dialect: the
+// paper's SELECT template plus COUNT(*), MATCH, GROUP BY, ORDER BY,
+// LIMIT). Queries must pin a tenant with `tenant_id = N`.
+func (c *Cluster) Query(sql string) (*Result, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("logstore: cluster closed")
+	}
+	return c.broker().Query(sql)
+}
+
+// SetRetention configures a tenant's data lifetime (0 = keep forever).
+func (c *Cluster) SetRetention(tenant int64, d time.Duration) {
+	c.catalog.SetRetention(tenant, d)
+}
+
+// TenantUsage reports archived rows and bytes for billing.
+func (c *Cluster) TenantUsage(tenant int64) (rows, bytes int64) {
+	return c.catalog.Usage(tenant)
+}
+
+// TenantBlocks lists a tenant's archived LogBlocks.
+func (c *Cluster) TenantBlocks(tenant int64) []BlockInfo {
+	return c.catalog.Blocks(tenant)
+}
+
+// Flush forces every worker to archive resident rows to object storage
+// and blocks until done. Useful before latency experiments that must
+// read from OSS, and in examples.
+func (c *Cluster) Flush() error {
+	c.mu.RLock()
+	workers := make([]*worker.Worker, 0, len(c.workers))
+	for _, w := range c.workers {
+		workers = append(workers, w)
+	}
+	c.mu.RUnlock()
+	for _, w := range workers {
+		for _, sid := range w.Shards() {
+			if err := w.FlushShard(sid); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WaitForArchive polls until no rows remain unarchived or the timeout
+// passes; it returns the remaining resident row count.
+func (c *Cluster) WaitForArchive(timeout time.Duration) int64 {
+	deadline := time.Now().Add(timeout)
+	for {
+		var resident int64
+		c.mu.RLock()
+		for _, w := range c.workers {
+			resident += w.ResidentRows()
+		}
+		c.mu.RUnlock()
+		if resident == 0 || time.Now().After(deadline) {
+			return resident
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// CompactNow merges small adjacent LogBlocks for every tenant,
+// bounding merged blocks at targetRows rows (0 = builder default).
+// Returns the number of source blocks merged away. This is the
+// background housekeeping that keeps high-frequency archiving from
+// littering object storage with tiny objects.
+func (c *Cluster) CompactNow(targetRows int) (int, error) {
+	c.mu.RLock()
+	var w *worker.Worker
+	for _, cand := range c.workers {
+		w = cand
+		break
+	}
+	c.mu.RUnlock()
+	if w == nil {
+		return 0, fmt.Errorf("logstore: no workers")
+	}
+	total := 0
+	for _, tenant := range c.catalog.Tenants() {
+		n, err := w.CompactTenant(tenant, targetRows)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// RebalanceNow runs one hotspot-manager iteration immediately and
+// returns what it did (0 none, 1 rebalanced, 2 scale).
+func (c *Cluster) RebalanceNow() flow.Action {
+	return c.ctrl.RunBalanceOnce()
+}
+
+// ExpireNow enforces retention immediately against the given
+// wall-clock, returning the number of LogBlocks deleted.
+func (c *Cluster) ExpireNow(nowMS int64) int {
+	return c.ctrl.RunExpireOnce(nowMS)
+}
+
+// RouteTable returns the current tenant routing table (diagnostics and
+// the traffic-control experiments).
+func (c *Cluster) RouteTable() flow.RouteTable {
+	return c.ctrl.Scheduler().Table()
+}
+
+// Collector exposes the traffic monitor (experiments record synthetic
+// traffic through it).
+func (c *Cluster) Collector() *flow.Collector { return c.ctrl.Collector() }
+
+// Schema returns the cluster's table schema.
+func (c *Cluster) TableSchema() *Schema { return c.sch }
+
+// ClusterStats is an operational snapshot of the cluster.
+type ClusterStats struct {
+	Workers        int   `json:"workers"`
+	Shards         int   `json:"shards"`
+	Tenants        int   `json:"tenants"`
+	ArchivedBlocks int   `json:"archived_blocks"`
+	ArchivedBytes  int64 `json:"archived_bytes"`
+	ArchivedRows   int64 `json:"archived_rows"`
+	ResidentRows   int64 `json:"resident_rows"`
+	RouteRules     int   `json:"route_rules"`
+	Rebalances     int   `json:"rebalances"`
+	ScaleEvents    int   `json:"scale_events"`
+	ExpiredBlocks  int   `json:"expired_blocks"`
+	CacheMemHits   int64 `json:"cache_mem_hits"`
+	CacheMemMisses int64 `json:"cache_mem_misses"`
+}
+
+// Stats returns an operational snapshot (served by the HTTP front end's
+// /stats endpoint).
+func (c *Cluster) Stats() ClusterStats {
+	var s ClusterStats
+	c.mu.RLock()
+	s.Workers = len(c.workers)
+	s.Shards = len(c.shardOwner)
+	for _, w := range c.workers {
+		s.ResidentRows += w.ResidentRows()
+		hits, misses, _, _ := w.CacheStats()
+		s.CacheMemHits += hits
+		s.CacheMemMisses += misses
+	}
+	c.mu.RUnlock()
+	for _, tenant := range c.catalog.Tenants() {
+		s.Tenants++
+		blocks := c.catalog.Blocks(tenant)
+		s.ArchivedBlocks += len(blocks)
+		for _, b := range blocks {
+			s.ArchivedBytes += b.Bytes
+			s.ArchivedRows += b.Rows
+		}
+	}
+	s.RouteRules = c.ctrl.Scheduler().Table().Routes()
+	s.Rebalances, s.ScaleEvents, s.ExpiredBlocks = c.ctrl.Stats()
+	return s
+}
+
+// Workers returns the current worker count.
+func (c *Cluster) Workers() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.workers)
+}
+
+// Close stops background loops and all nodes. Resident (unarchived)
+// rows are flushed to object storage on the way down.
+func (c *Cluster) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if c.ctrl != nil {
+		c.ctrl.Stop()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		w.Close() // final drain archives resident rows
+	}
+	// Persist the catalog so a reopen over the same store recovers all
+	// tenant metadata.
+	if c.ctrl != nil {
+		_ = c.ctrl.Checkpoint()
+	}
+}
