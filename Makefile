@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench clean
+
+## check: the tier-1 gate — formatting, vet, build, race-enabled tests.
+check: fmt vet build race
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required for:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+clean:
+	$(GO) clean ./...

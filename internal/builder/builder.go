@@ -1,0 +1,283 @@
+// Package builder implements LogStore's phase-two data builder (paper
+// §3.1, §3.4): it drains sealed row-store segments, splits them by
+// tenant, encodes each tenant's run into columnar LogBlocks (with
+// inverted/BKD indexes and SMA statistics), uploads them to object
+// storage, and registers them in the metadata catalog. It also runs the
+// LogBlock compaction task that merges small adjacent blocks.
+//
+// The builder is fault-tolerant by construction. Object storage
+// throttles and fails transiently under multi-tenant load, so every
+// OSS operation goes through a retrying store (exponential backoff
+// with full jitter behind a circuit breaker; see internal/retry), and
+// the archive commit is idempotent and atomic:
+//
+//  1. the packed LogBlock's key is derived from its content
+//     (tenant, min timestamp, FNV-64a fingerprint of the packed
+//     bytes), so re-archiving the same segment reproduces the same
+//     key instead of a duplicate object;
+//  2. the object is uploaded first, while it is still invisible —
+//     nothing reads a key the catalog does not hold;
+//  3. catalog registration is the single commit point, performed
+//     last. A crash or exhausted retry before registration leaves at
+//     worst an unregistered (invisible) object for SweepOrphans, and
+//     the segment is re-drained later: the catalog/Head dedup checks
+//     then skip the work already done.
+//
+// A segment is released from the row store only after every one of its
+// LogBlocks has committed, so no row is dropped before it is durable
+// and visible on object storage.
+package builder
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"logstore/internal/compress"
+	"logstore/internal/logblock"
+	"logstore/internal/meta"
+	"logstore/internal/metrics"
+	"logstore/internal/oss"
+	"logstore/internal/retry"
+	"logstore/internal/rowstore"
+	"logstore/internal/schema"
+)
+
+// Config configures a Builder.
+type Config struct {
+	// Table is the OSS directory all of this builder's LogBlocks live
+	// under ("" = the schema's table name).
+	Table string
+	// MaxRowsPerBlock caps one LogBlock's row count; a tenant's run in
+	// a segment is chunked at this size (0 = 1_000_000).
+	MaxRowsPerBlock int
+	// BlockRows is the column-block size inside a LogBlock
+	// (0 = logblock.DefaultBlockRows).
+	BlockRows int
+	// Codec is the column-block compression codec (zero = default).
+	Codec compress.Codec
+	// NoIndexes suppresses index members (ablation experiments).
+	NoIndexes bool
+	// Retry overrides the store retry policy (nil = oss default).
+	// The builder always wraps its store with retries; passing an
+	// already-wrapped *oss.RetryingStore keeps that wrapper.
+	Retry *retry.Policy
+}
+
+// Builder converts row-store segments into LogBlocks on object storage.
+// Safe for concurrent use; drains and compactions of the same tenant
+// should still be serialized by the caller (the worker's archive mutex)
+// to avoid wasted duplicate work.
+type Builder struct {
+	cfg     Config
+	sch     *schema.Schema
+	store   oss.Store
+	catalog *meta.Manager
+
+	// pending tracks keys uploaded but not yet registered, so an
+	// orphan sweep never deletes an in-flight commit.
+	mu      sync.Mutex
+	pending map[string]struct{}
+
+	blocksBuilt  metrics.Counter
+	rowsArchived metrics.Counter
+	dedupSkips   metrics.Counter
+}
+
+// New constructs a builder. The store is wrapped with retries (unless
+// it already is); the catalog is the cluster's metadata manager.
+func New(cfg Config, sch *schema.Schema, store oss.Store, catalog *meta.Manager) (*Builder, error) {
+	if sch == nil {
+		return nil, fmt.Errorf("builder: nil schema")
+	}
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	if store == nil {
+		return nil, fmt.Errorf("builder: nil store")
+	}
+	if catalog == nil {
+		return nil, fmt.Errorf("builder: nil catalog")
+	}
+	if cfg.Table == "" {
+		cfg.Table = sch.Name
+	}
+	if cfg.MaxRowsPerBlock <= 0 {
+		cfg.MaxRowsPerBlock = 1_000_000
+	}
+	policy := oss.DefaultRetryPolicy()
+	if cfg.Retry != nil {
+		policy = *cfg.Retry
+	}
+	return &Builder{
+		cfg:     cfg,
+		sch:     sch,
+		store:   oss.WithRetry(store, policy),
+		catalog: catalog,
+		pending: make(map[string]struct{}),
+	}, nil
+}
+
+// Store returns the builder's (retry-wrapped) object store.
+func (b *Builder) Store() oss.Store { return b.store }
+
+// Table returns the OSS directory the builder archives under.
+func (b *Builder) Table() string { return b.cfg.Table }
+
+// Stats reports LogBlocks committed, rows archived, and commits skipped
+// by the idempotence checks (re-drained data already on OSS).
+func (b *Builder) Stats() (blocks, rows, dedupSkips int64) {
+	return b.blocksBuilt.Value(), b.rowsArchived.Value(), b.dedupSkips.Value()
+}
+
+// DrainStore seals the row store's active segment and archives every
+// sealed segment to object storage, releasing each segment only after
+// all of its LogBlocks have committed. It returns the number of
+// LogBlocks newly committed. On error the failed segment (and any
+// after it) stays sealed in the row store; a later drain retries it and
+// the content-derived keys deduplicate whatever had already committed.
+func (b *Builder) DrainStore(rs *rowstore.Store) (int, error) {
+	rs.Seal()
+	committed := 0
+	for _, seg := range rs.Sealed() {
+		n, err := b.archiveSegment(seg)
+		committed += n
+		if err != nil {
+			return committed, fmt.Errorf("builder: segment %d: %w", seg.ID, err)
+		}
+		rs.Release(seg.ID)
+	}
+	return committed, nil
+}
+
+// archiveSegment splits one sealed segment by tenant and commits each
+// tenant's chunks. Returns how many LogBlocks were newly committed.
+func (b *Builder) archiveSegment(seg *rowstore.Segment) (int, error) {
+	tenantIdx := b.sch.TenantIdx()
+	timeIdx := b.sch.TimeIdx()
+	byTenant := make(map[int64][]schema.Row)
+	var order []int64
+	for _, r := range seg.Rows {
+		t := r[tenantIdx].I
+		if _, ok := byTenant[t]; !ok {
+			order = append(order, t)
+		}
+		byTenant[t] = append(byTenant[t], r)
+	}
+	// Deterministic tenant order keeps re-drains byte-identical.
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	committed := 0
+	for _, tenant := range order {
+		rows := byTenant[tenant]
+		// Sort by time before chunking so every chunk covers a
+		// contiguous time range (LogBlocks are stored in chronological
+		// order per tenant, paper §3.1) and chunk contents are
+		// deterministic.
+		sort.SliceStable(rows, func(i, j int) bool {
+			return rows[i][timeIdx].I < rows[j][timeIdx].I
+		})
+		for start := 0; start < len(rows); start += b.cfg.MaxRowsPerBlock {
+			end := start + b.cfg.MaxRowsPerBlock
+			if end > len(rows) {
+				end = len(rows)
+			}
+			fresh, err := b.commitChunk(tenant, rows[start:end])
+			if err != nil {
+				return committed, fmt.Errorf("tenant %d: %w", tenant, err)
+			}
+			if fresh {
+				committed++
+			}
+		}
+	}
+	return committed, nil
+}
+
+// buildOptions maps the config onto logblock build options.
+func (b *Builder) buildOptions() logblock.BuildOptions {
+	return logblock.BuildOptions{
+		Codec:     b.cfg.Codec,
+		BlockRows: b.cfg.BlockRows,
+		NoIndexes: b.cfg.NoIndexes,
+	}
+}
+
+// blockKey derives the content-addressed object key: the tenant's OSS
+// directory, the block's minimum timestamp (chronological listing), and
+// the FNV-64a fingerprint of the packed bytes. Identical content maps
+// to an identical key, which is what makes the archive commit
+// idempotent across retries, crashes, and re-drained segments.
+func (b *Builder) blockKey(tenant, minTS int64, packed []byte) string {
+	h := fnv.New64a()
+	h.Write(packed)
+	return fmt.Sprintf("%slogblock-%016d-%016x.tar",
+		meta.TenantPrefix(b.cfg.Table, tenant), minTS, h.Sum64())
+}
+
+// commitChunk archives one tenant's row chunk as a LogBlock using the
+// idempotent upload-then-register protocol. It reports whether a new
+// block was committed (false = deduplicated against a prior commit).
+func (b *Builder) commitChunk(tenant int64, rows []schema.Row) (bool, error) {
+	built, err := logblock.Build(b.sch, rows, b.buildOptions())
+	if err != nil {
+		return false, err
+	}
+	packed, err := built.Pack()
+	if err != nil {
+		return false, err
+	}
+	key := b.blockKey(tenant, built.Meta.MinTS, packed)
+
+	// Dedup check 1: already registered — the commit completed in a
+	// previous drain (e.g. the crash happened after registration but
+	// before the segment was released). Nothing to do.
+	if b.catalog.Has(tenant, key) {
+		b.dedupSkips.Inc()
+		return false, nil
+	}
+
+	b.mu.Lock()
+	b.pending[key] = struct{}{}
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		delete(b.pending, key)
+		b.mu.Unlock()
+	}()
+
+	// Dedup check 2: uploaded but never registered (crash between
+	// upload and commit). The key is content-derived, so a size match
+	// means the bytes are already there; skip straight to registration.
+	uploaded := false
+	if info, err := b.store.Head(key); err == nil && info.Size == int64(len(packed)) {
+		uploaded = true
+		b.dedupSkips.Inc()
+	}
+	if !uploaded {
+		// Upload first: the object is invisible until registered, so a
+		// failure here never exposes a partial LogBlock.
+		if err := b.store.Put(key, packed); err != nil {
+			return false, fmt.Errorf("upload %s: %w", key, err)
+		}
+	}
+
+	// Commit point: catalog registration makes the block visible.
+	info := meta.BlockInfo{
+		Tenant:    tenant,
+		Path:      key,
+		MinTS:     built.Meta.MinTS,
+		MaxTS:     built.Meta.MaxTS,
+		Rows:      int64(len(rows)),
+		Bytes:     int64(len(packed)),
+		CreatedMS: time.Now().UnixMilli(),
+	}
+	if err := b.catalog.Register(info); err != nil {
+		return false, fmt.Errorf("register %s: %w", key, err)
+	}
+	b.blocksBuilt.Inc()
+	b.rowsArchived.Add(int64(len(rows)))
+	return true, nil
+}

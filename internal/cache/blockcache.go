@@ -7,14 +7,21 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // BlockCache is the two-level file-block cache from Figure 9: a memory
 // LRU in front of an optional disk ("SSD") LRU. Blocks evicted from
 // memory spill to disk; disk hits are promoted back into memory.
+//
+// The disk level is an optimization, never a dependency: if its
+// directory cannot be prepared, or its writes start failing (full or
+// yanked SSD), the cache degrades to memory-only and keeps serving —
+// a broken cache level must not error the query path.
 type BlockCache struct {
-	mem  *LRU
-	disk *diskCache
+	mem      *LRU
+	disk     *diskCache
+	degraded bool // disk level requested but unusable at construction
 }
 
 // BlockCacheConfig sizes the cache levels. The paper's production
@@ -27,20 +34,21 @@ type BlockCacheConfig struct {
 }
 
 // NewBlockCache builds the cache. The disk directory is created if
-// missing and stale content in it is removed.
+// missing and stale content in it is removed. A disk level that cannot
+// be set up (unwritable path, missing mount) degrades the cache to
+// memory-only rather than failing construction; DiskBytes without a
+// DiskDir stays a configuration error.
 func NewBlockCache(cfg BlockCacheConfig) (*BlockCache, error) {
 	bc := &BlockCache{}
 	if cfg.DiskBytes > 0 {
 		if cfg.DiskDir == "" {
 			return nil, fmt.Errorf("cache: DiskBytes set but DiskDir empty")
 		}
-		if err := os.RemoveAll(cfg.DiskDir); err != nil {
-			return nil, fmt.Errorf("cache: reset disk dir: %w", err)
+		if err := resetDir(cfg.DiskDir); err != nil {
+			bc.degraded = true
+		} else {
+			bc.disk = newDiskCache(cfg.DiskDir, cfg.DiskBytes)
 		}
-		if err := os.MkdirAll(cfg.DiskDir, 0o755); err != nil {
-			return nil, fmt.Errorf("cache: create disk dir: %w", err)
-		}
-		bc.disk = newDiskCache(cfg.DiskDir, cfg.DiskBytes)
 	}
 	bc.mem = NewLRU(cfg.MemoryBytes, func(key string, value any, size int64) {
 		// Memory eviction spills to the SSD level.
@@ -49,6 +57,33 @@ func NewBlockCache(cfg BlockCacheConfig) (*BlockCache, error) {
 		}
 	})
 	return bc, nil
+}
+
+// resetDir prepares an empty, writable cache directory, verifying
+// writability with a probe file (MkdirAll succeeds on an existing but
+// read-only directory).
+func resetDir(dir string) error {
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	probe := filepath.Join(dir, ".probe")
+	if err := os.WriteFile(probe, nil, 0o644); err != nil {
+		return err
+	}
+	return os.Remove(probe)
+}
+
+// Degraded reports whether a requested disk level is out of service —
+// either unusable at construction or disabled after repeated write
+// failures — leaving the cache memory-only.
+func (bc *BlockCache) Degraded() bool {
+	if bc.degraded {
+		return true
+	}
+	return bc.disk != nil && bc.disk.disabled()
 }
 
 // Get returns a cached block. Disk hits are promoted to memory.
@@ -99,11 +134,20 @@ func (bc *BlockCache) Purge() {
 	}
 }
 
+// diskSpillFailureLimit is how many consecutive failed spill writes
+// take the disk level out of service. One failure can be a transient
+// blip; a run of them means the SSD is full or gone, and every further
+// spill would just burn a syscall on the eviction path.
+const diskSpillFailureLimit = 8
+
 // diskCache is the SSD level: an LRU index over files in a directory.
 type diskCache struct {
 	dir string
 	idx *LRU
 	mu  sync.Mutex // serializes file writes/removes against purge
+
+	writeFails atomic.Int64 // consecutive spill failures
+	down       atomic.Bool  // level disabled after too many failures
 }
 
 func newDiskCache(dir string, capacity int64) *diskCache {
@@ -120,14 +164,25 @@ func (d *diskCache) path(key string) string {
 	return filepath.Join(d.dir, hex.EncodeToString(sum[:16]))
 }
 
+func (d *diskCache) disabled() bool { return d.down.Load() }
+
 func (d *diskCache) put(key string, data []byte) {
+	if d.down.Load() {
+		return
+	}
 	p := d.path(key)
 	d.mu.Lock()
 	err := os.WriteFile(p, data, 0o644)
 	d.mu.Unlock()
 	if err != nil {
-		return // a failed spill is only a lost cache opportunity
+		// A failed spill is only a lost cache opportunity — but a run
+		// of them means the disk is gone; stop trying.
+		if d.writeFails.Add(1) >= diskSpillFailureLimit {
+			d.down.Store(true)
+		}
+		return
 	}
+	d.writeFails.Store(0)
 	d.idx.Put(key, p, int64(len(data)))
 }
 

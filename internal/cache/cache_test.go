@@ -293,3 +293,60 @@ func BenchmarkLRUPutGet(b *testing.B) {
 		c.Get(k)
 	}
 }
+
+func TestBlockCacheDegradesWhenDiskDirUnusable(t *testing.T) {
+	// A regular file where the cache directory should go: RemoveAll
+	// succeeds but MkdirAll-then-write cannot produce a usable dir when
+	// the parent path is a file.
+	parent := filepath.Join(t.TempDir(), "notadir")
+	if err := os.WriteFile(parent, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bc, err := NewBlockCache(BlockCacheConfig{
+		MemoryBytes: 1 << 20,
+		DiskBytes:   1 << 20,
+		DiskDir:     filepath.Join(parent, "ssd"),
+	})
+	if err != nil {
+		t.Fatalf("unusable disk dir errored instead of degrading: %v", err)
+	}
+	if !bc.Degraded() {
+		t.Error("cache not marked degraded")
+	}
+	// Memory-only service still works.
+	bc.Put("k", []byte("data"))
+	if got, ok := bc.Get("k"); !ok || string(got) != "data" {
+		t.Fatalf("degraded Get = %q, %v", got, ok)
+	}
+	if bc.DiskUsed() != 0 {
+		t.Error("degraded cache reports disk usage")
+	}
+}
+
+func TestBlockCacheDisablesDiskAfterSpillFailures(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ssd")
+	bc, err := NewBlockCache(BlockCacheConfig{
+		MemoryBytes: 100,
+		DiskBytes:   1 << 20,
+		DiskDir:     dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yank the SSD out from under the cache; every spill now fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= diskSpillFailureLimit+2; i++ {
+		// Each 80-byte Put evicts the previous block to the dead disk.
+		bc.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte("x"), 80))
+	}
+	if !bc.Degraded() {
+		t.Error("disk level not disabled after repeated spill failures")
+	}
+	// Reads keep working from memory, writes keep landing there.
+	bc.Put("live", []byte("still here"))
+	if got, ok := bc.Get("live"); !ok || string(got) != "still here" {
+		t.Fatalf("memory level broken after disk death: %q, %v", got, ok)
+	}
+}

@@ -241,10 +241,19 @@ func MaxFlowBalance(topo *Topology, tr *Traffic, current RouteTable, cfg Balance
 		for _, t := range tenants {
 			u, idx := g.AddEdge(0, tIdx[t], tr.Tenant[t])
 			srcHandles[t] = handle{u, idx}
+			// Insert tenant→shard edges in sorted shard order: Dinic
+			// spreads flow among equally good paths in insertion order,
+			// so map-order insertion would make the surviving route set
+			// (and Routes() count) vary run to run.
+			routed := make([]ShardID, 0, len(rt[t]))
 			for s := range rt[t] {
 				if _, ok := sIdx[s]; !ok {
 					continue // route to a removed shard: dropped on normalize
 				}
+				routed = append(routed, s)
+			}
+			sort.Slice(routed, func(i, j int) bool { return routed[i] < routed[j] })
+			for _, s := range routed {
 				eu, eidx := g.AddEdge(tIdx[t], sIdx[s], cfg.TenantShardLimit)
 				edgeHandles[edgeKey{t, s}] = handle{eu, eidx}
 			}

@@ -75,6 +75,67 @@ func (m *Manager) sortLocked(tenant int64) {
 	})
 }
 
+// Has reports whether the tenant already has a block registered under
+// path (the data builder's archive-commit dedup check).
+func (m *Manager) Has(tenant int64, path string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, b := range m.blocks[tenant] {
+		if b.Path == path {
+			return true
+		}
+	}
+	return false
+}
+
+// Replace atomically swaps a set of a tenant's block entries: every
+// path in removePaths is dropped and every entry in add is registered,
+// under one write lock. Compaction commits through this so a
+// concurrent query never observes both the source blocks and their
+// merged replacement (no double counting) nor neither (no lost rows).
+func (m *Manager) Replace(tenant int64, removePaths []string, add []BlockInfo) error {
+	for _, info := range add {
+		if info.Path == "" {
+			return fmt.Errorf("meta: empty block path")
+		}
+		if info.MinTS > info.MaxTS {
+			return fmt.Errorf("meta: block %s has inverted time range [%d, %d]", info.Path, info.MinTS, info.MaxTS)
+		}
+		if info.Tenant != tenant {
+			return fmt.Errorf("meta: block %s tenant %d in replace for tenant %d", info.Path, info.Tenant, tenant)
+		}
+	}
+	remove := make(map[string]bool, len(removePaths))
+	for _, p := range removePaths {
+		remove[p] = true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	list := m.blocks[tenant][:0]
+	for _, b := range m.blocks[tenant] {
+		if !remove[b.Path] && !hasPath(add, b.Path) {
+			list = append(list, b)
+		}
+	}
+	list = append(list, add...)
+	if len(list) == 0 {
+		delete(m.blocks, tenant)
+		return nil
+	}
+	m.blocks[tenant] = list
+	m.sortLocked(tenant)
+	return nil
+}
+
+func hasPath(list []BlockInfo, path string) bool {
+	for _, b := range list {
+		if b.Path == path {
+			return true
+		}
+	}
+	return false
+}
+
 // Remove deletes a block entry by tenant and path; unknown paths are
 // ignored (idempotent, mirroring object deletion).
 func (m *Manager) Remove(tenant int64, path string) {

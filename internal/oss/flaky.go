@@ -4,15 +4,26 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"time"
 )
 
-// ErrInjected marks a fault-injected failure.
+// ErrInjected marks a probabilistically fault-injected failure (an
+// unclassified transient storage error).
 var ErrInjected = errors.New("oss: injected fault")
+
+// ErrThrottled marks a throttling rejection — the typed transient error
+// real object stores return under multi-tenant load (HTTP 429/503
+// class). The deterministic fail-N-then-heal mode injects this so retry
+// tests can assert on the exact error kind.
+var ErrThrottled = errors.New("oss: request throttled")
 
 // FlakyStore wraps a Store and fails operations with a configurable
 // probability — the fault-injection harness for testing retry and
 // recovery behaviour (object stores throttle and error transiently in
-// production; callers must tolerate it).
+// production; callers must tolerate it). Beyond the probabilistic mode
+// it supports configurable injected latency and a deterministic
+// fail-N-times-then-heal mode, so retry tests can be exact instead of
+// probability-only.
 type FlakyStore struct {
 	inner Store
 
@@ -20,6 +31,9 @@ type FlakyStore struct {
 	rng      *rand.Rand
 	failPut  float64
 	failGet  float64
+	failNPut int
+	failNGet int
+	latency  time.Duration
 	failures Stats
 }
 
@@ -43,64 +57,119 @@ func (s *FlakyStore) SetRates(failPut, failGet float64) {
 	s.mu.Unlock()
 }
 
+// FailNextPuts makes the next n Put calls fail deterministically with
+// ErrThrottled, after which Puts heal. Overrides the probabilistic roll
+// while active.
+func (s *FlakyStore) FailNextPuts(n int) {
+	s.mu.Lock()
+	s.failNPut = n
+	s.mu.Unlock()
+}
+
+// FailNextGets makes the next n read operations (Get/GetRange/Head/
+// List) fail deterministically with ErrThrottled, after which reads
+// heal.
+func (s *FlakyStore) FailNextGets(n int) {
+	s.mu.Lock()
+	s.failNGet = n
+	s.mu.Unlock()
+}
+
+// SetLatency injects a fixed delay before every operation (both the
+// failing and the succeeding ones), emulating a throttled store that is
+// slow as well as flaky.
+func (s *FlakyStore) SetLatency(d time.Duration) {
+	s.mu.Lock()
+	s.latency = d
+	s.mu.Unlock()
+}
+
 // InjectedFailures reports how many operations were failed.
 func (s *FlakyStore) InjectedFailures() int64 {
 	return s.failures.Puts.Value() + s.failures.Gets.Value()
 }
 
-func (s *FlakyStore) rollPut() bool {
+// rollPut decides one write's fate: the deterministic budget first,
+// then the probabilistic roll. It also applies injected latency.
+func (s *FlakyStore) rollPut() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.failPut > 0 && s.rng.Float64() < s.failPut
+	latency := s.latency
+	var err error
+	switch {
+	case s.failNPut > 0:
+		s.failNPut--
+		err = ErrThrottled
+	case s.failPut > 0 && s.rng.Float64() < s.failPut:
+		err = ErrInjected
+	}
+	s.mu.Unlock()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if err != nil {
+		s.failures.Puts.Inc()
+	}
+	return err
 }
 
-func (s *FlakyStore) rollGet() bool {
+// rollGet is rollPut for read operations.
+func (s *FlakyStore) rollGet() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.failGet > 0 && s.rng.Float64() < s.failGet
+	latency := s.latency
+	var err error
+	switch {
+	case s.failNGet > 0:
+		s.failNGet--
+		err = ErrThrottled
+	case s.failGet > 0 && s.rng.Float64() < s.failGet:
+		err = ErrInjected
+	}
+	s.mu.Unlock()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if err != nil {
+		s.failures.Gets.Inc()
+	}
+	return err
 }
 
 // Put implements Store.
 func (s *FlakyStore) Put(key string, data []byte) error {
-	if s.rollPut() {
-		s.failures.Puts.Inc()
-		return ErrInjected
+	if err := s.rollPut(); err != nil {
+		return err
 	}
 	return s.inner.Put(key, data)
 }
 
 // Get implements Store.
 func (s *FlakyStore) Get(key string) ([]byte, error) {
-	if s.rollGet() {
-		s.failures.Gets.Inc()
-		return nil, ErrInjected
+	if err := s.rollGet(); err != nil {
+		return nil, err
 	}
 	return s.inner.Get(key)
 }
 
 // GetRange implements Store.
 func (s *FlakyStore) GetRange(key string, off, size int64) ([]byte, error) {
-	if s.rollGet() {
-		s.failures.Gets.Inc()
-		return nil, ErrInjected
+	if err := s.rollGet(); err != nil {
+		return nil, err
 	}
 	return s.inner.GetRange(key, off, size)
 }
 
 // Head implements Store.
 func (s *FlakyStore) Head(key string) (ObjectInfo, error) {
-	if s.rollGet() {
-		s.failures.Gets.Inc()
-		return ObjectInfo{}, ErrInjected
+	if err := s.rollGet(); err != nil {
+		return ObjectInfo{}, err
 	}
 	return s.inner.Head(key)
 }
 
 // List implements Store.
 func (s *FlakyStore) List(prefix string) ([]ObjectInfo, error) {
-	if s.rollGet() {
-		s.failures.Gets.Inc()
-		return nil, ErrInjected
+	if err := s.rollGet(); err != nil {
+		return nil, err
 	}
 	return s.inner.List(prefix)
 }

@@ -1,0 +1,177 @@
+package oss
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"logstore/internal/retry"
+)
+
+// ClassifyError labels object-storage errors for retry purposes:
+// ErrNotFound is permanent (a missing object does not appear by
+// retrying), everything else — throttles, injected faults, open
+// circuits, latency-model timeouts — is transient. Cloud databases must
+// treat storage-tier errors as routine; the permanent set is the
+// exception list, not the rule.
+func ClassifyError(err error) retry.Class {
+	if errors.Is(err, ErrNotFound) || retry.IsPermanent(err) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return retry.Permanent
+	}
+	return retry.Transient
+}
+
+// DefaultRetryPolicy is the store-level retry schedule: 8 attempts,
+// 10ms initial backoff with full jitter doubling to a 500ms cap, a 5s
+// per-attempt deadline and a 30s overall deadline per operation.
+func DefaultRetryPolicy() retry.Policy {
+	return retry.Policy{
+		MaxAttempts:       8,
+		InitialBackoff:    10 * time.Millisecond,
+		MaxBackoff:        500 * time.Millisecond,
+		PerAttemptTimeout: 5 * time.Second,
+		OverallTimeout:    30 * time.Second,
+		Classify:          ClassifyError,
+	}
+}
+
+// RetryingStore wraps a Store so every operation is retried with
+// backoff on transient errors, behind a shared circuit breaker. This is
+// the single chokepoint through which all of LogStore's OSS traffic —
+// builder uploads, prefetch reads, catalog checkpoints — gains fault
+// tolerance.
+type RetryingStore struct {
+	inner   Store
+	policy  retry.Policy
+	breaker *retry.Breaker
+	stats   retry.Stats
+}
+
+// WithRetry wraps inner with the given policy (zero-value fields take
+// DefaultRetryPolicy defaults via retry.Do). Wrapping an existing
+// *RetryingStore returns it unchanged: stacking retry layers would
+// multiply attempt counts.
+func WithRetry(inner Store, policy retry.Policy) *RetryingStore {
+	if rs, ok := inner.(*RetryingStore); ok {
+		return rs
+	}
+	if policy.Classify == nil {
+		policy.Classify = ClassifyError
+	}
+	s := &RetryingStore{
+		inner:   inner,
+		policy:  policy,
+		breaker: retry.NewBreaker(8, 500*time.Millisecond),
+	}
+	s.policy.Stats = &s.stats
+	return s
+}
+
+// WithDefaultRetry wraps inner with DefaultRetryPolicy.
+func WithDefaultRetry(inner Store) *RetryingStore {
+	return WithRetry(inner, DefaultRetryPolicy())
+}
+
+// Inner returns the wrapped store.
+func (s *RetryingStore) Inner() Store { return s.inner }
+
+// Breaker exposes the circuit breaker (tests assert it heals).
+func (s *RetryingStore) Breaker() *retry.Breaker { return s.breaker }
+
+// RetryStats reports attempts, retries, and failed operations through
+// this wrapper.
+func (s *RetryingStore) RetryStats() (attempts, retries, failures int64) {
+	return s.stats.Attempts.Value(), s.stats.Retries.Value(), s.stats.Failures.Value()
+}
+
+// do runs one store operation under the retry schedule and breaker.
+// Each attempt consults the breaker: while the circuit is open the
+// attempt fails fast with retry.ErrOpen (transient), so the schedule
+// keeps backing off until the cooldown admits a probe.
+func (s *RetryingStore) do(op func() error) error {
+	return retry.Do(context.Background(), s.policy, func(context.Context) error {
+		if !s.breaker.Allow() {
+			return retry.ErrOpen
+		}
+		err := op()
+		if err == nil {
+			s.breaker.Success()
+			return nil
+		}
+		if s.policy.Classify(err) == retry.Permanent {
+			// A permanent error (missing key) says nothing about the
+			// storage tier's health: don't poison the breaker.
+			s.breaker.Success()
+		} else {
+			s.breaker.Failure()
+		}
+		return err
+	})
+}
+
+// Put implements Store.
+func (s *RetryingStore) Put(key string, data []byte) error {
+	return s.do(func() error { return s.inner.Put(key, data) })
+}
+
+// Get implements Store.
+func (s *RetryingStore) Get(key string) ([]byte, error) {
+	var out []byte
+	err := s.do(func() error {
+		var e error
+		out, e = s.inner.Get(key)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetRange implements Store.
+func (s *RetryingStore) GetRange(key string, off, size int64) ([]byte, error) {
+	var out []byte
+	err := s.do(func() error {
+		var e error
+		out, e = s.inner.GetRange(key, off, size)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Head implements Store.
+func (s *RetryingStore) Head(key string) (ObjectInfo, error) {
+	var out ObjectInfo
+	err := s.do(func() error {
+		var e error
+		out, e = s.inner.Head(key)
+		return e
+	})
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	return out, nil
+}
+
+// List implements Store.
+func (s *RetryingStore) List(prefix string) ([]ObjectInfo, error) {
+	var out []ObjectInfo
+	err := s.do(func() error {
+		var e error
+		out, e = s.inner.List(prefix)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Delete implements Store.
+func (s *RetryingStore) Delete(key string) error {
+	return s.do(func() error { return s.inner.Delete(key) })
+}

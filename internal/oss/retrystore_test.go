@@ -1,0 +1,242 @@
+package oss
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"logstore/internal/retry"
+)
+
+// fastRetryPolicy keeps retry tests quick and deterministic.
+func fastRetryPolicy() retry.Policy {
+	return retry.Policy{
+		MaxAttempts:    8,
+		InitialBackoff: time.Millisecond,
+		MaxBackoff:     2 * time.Millisecond,
+		Seed:           3,
+		Classify:       ClassifyError,
+	}
+}
+
+func TestFailNThenHealIsDeterministic(t *testing.T) {
+	mem := NewMemStore()
+	s := NewFlakyStore(mem, 0, 0, 1)
+	s.FailNextPuts(3)
+	for i := 0; i < 3; i++ {
+		if err := s.Put("k", []byte("v")); !errors.Is(err, ErrThrottled) {
+			t.Fatalf("put %d = %v, want ErrThrottled", i, err)
+		}
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatalf("healed put = %v", err)
+	}
+	s.FailNextGets(2)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Get("k"); !errors.Is(err, ErrThrottled) {
+			t.Fatalf("get %d = %v, want ErrThrottled", i, err)
+		}
+	}
+	if _, err := s.Get("k"); err != nil {
+		t.Fatalf("healed get = %v", err)
+	}
+	if s.InjectedFailures() != 5 {
+		t.Errorf("injected = %d, want 5", s.InjectedFailures())
+	}
+}
+
+func TestFailNCoversAllReadOps(t *testing.T) {
+	mem := NewMemStore()
+	if err := mem.Put("k", []byte("vv")); err != nil {
+		t.Fatal(err)
+	}
+	s := NewFlakyStore(mem, 0, 0, 1)
+	s.FailNextGets(4)
+	if _, err := s.Get("k"); !errors.Is(err, ErrThrottled) {
+		t.Errorf("Get = %v", err)
+	}
+	if _, err := s.GetRange("k", 0, 1); !errors.Is(err, ErrThrottled) {
+		t.Errorf("GetRange = %v", err)
+	}
+	if _, err := s.Head("k"); !errors.Is(err, ErrThrottled) {
+		t.Errorf("Head = %v", err)
+	}
+	if _, err := s.List(""); !errors.Is(err, ErrThrottled) {
+		t.Errorf("List = %v", err)
+	}
+	if _, err := s.Head("k"); err != nil {
+		t.Errorf("healed Head = %v", err)
+	}
+}
+
+func TestFlakyStoreInjectedLatency(t *testing.T) {
+	mem := NewMemStore()
+	s := NewFlakyStore(mem, 0, 0, 1)
+	s.SetLatency(20 * time.Millisecond)
+	start := time.Now()
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("latency not injected: op took %v", elapsed)
+	}
+	s.SetLatency(0)
+	start = time.Now()
+	if _, err := s.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Errorf("latency not cleared: op took %v", elapsed)
+	}
+}
+
+func TestClassifyError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want retry.Class
+	}{
+		{ErrNotFound, retry.Permanent},
+		{retry.MarkPermanent(errors.New("x")), retry.Permanent},
+		{ErrThrottled, retry.Transient},
+		{ErrInjected, retry.Transient},
+		{retry.ErrOpen, retry.Transient},
+		{errors.New("some network thing"), retry.Transient},
+	}
+	for _, c := range cases {
+		if got := ClassifyError(c.err); got != c.want {
+			t.Errorf("ClassifyError(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryingStoreRecoversFromTransientFaults(t *testing.T) {
+	mem := NewMemStore()
+	flaky := NewFlakyStore(mem, 0, 0, 1)
+	rs := WithRetry(flaky, fastRetryPolicy())
+
+	flaky.FailNextPuts(3)
+	if err := rs.Put("a", []byte("payload")); err != nil {
+		t.Fatalf("retried put failed: %v", err)
+	}
+	got, err := mem.Get("a")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("object not stored: %q %v", got, err)
+	}
+
+	flaky.FailNextGets(3)
+	if got, err := rs.Get("a"); err != nil || string(got) != "payload" {
+		t.Fatalf("retried get = %q, %v", got, err)
+	}
+	flaky.FailNextGets(2)
+	if info, err := rs.Head("a"); err != nil || info.Size != 7 {
+		t.Fatalf("retried head = %+v, %v", info, err)
+	}
+	flaky.FailNextGets(2)
+	if data, err := rs.GetRange("a", 0, 3); err != nil || string(data) != "pay" {
+		t.Fatalf("retried range = %q, %v", data, err)
+	}
+	flaky.FailNextGets(1)
+	if infos, err := rs.List(""); err != nil || len(infos) != 1 {
+		t.Fatalf("retried list = %v, %v", infos, err)
+	}
+
+	attempts, retries, failures := rs.RetryStats()
+	if retries != 11 || failures != 0 {
+		t.Errorf("stats attempts=%d retries=%d failures=%d, want 11 retries 0 failures",
+			attempts, retries, failures)
+	}
+}
+
+func TestRetryingStoreNotFoundFailsFast(t *testing.T) {
+	rs := WithRetry(NewMemStore(), fastRetryPolicy())
+	if _, err := rs.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	attempts, retries, _ := rs.RetryStats()
+	if attempts != 1 || retries != 0 {
+		t.Errorf("missing key retried: attempts=%d retries=%d", attempts, retries)
+	}
+	if open, _ := rs.Breaker().State(); open {
+		t.Error("ErrNotFound opened the breaker")
+	}
+}
+
+func TestRetryingStoreExhaustsOnPersistentFault(t *testing.T) {
+	mem := NewMemStore()
+	flaky := NewFlakyStore(mem, 0, 0, 1)
+	p := fastRetryPolicy()
+	p.MaxAttempts = 3
+	rs := WithRetry(flaky, p)
+	flaky.FailNextPuts(1000)
+	if err := rs.Put("a", []byte("v")); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("err = %v, want wrapped ErrThrottled", err)
+	}
+	_, _, failures := rs.RetryStats()
+	if failures != 1 {
+		t.Errorf("failures = %d", failures)
+	}
+}
+
+func TestRetryingStoreBreakerOpensAndHeals(t *testing.T) {
+	mem := NewMemStore()
+	flaky := NewFlakyStore(mem, 0, 0, 1)
+	p := fastRetryPolicy()
+	p.MaxAttempts = 4
+	rs := WithRetry(flaky, p)
+
+	// Hard outage: enough consecutive failures to open the circuit.
+	flaky.SetRates(1.0, 1.0)
+	for i := 0; i < 4; i++ {
+		_ = rs.Put("k", []byte("v"))
+	}
+	if open, _ := rs.Breaker().State(); !open {
+		t.Fatal("breaker still closed after hard outage")
+	}
+
+	// Heal the store; after the cooldown a probe must close the circuit
+	// and operations must succeed again (the breaker never wedges open).
+	flaky.SetRates(0, 0)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := rs.Put("k", []byte("v")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker wedged open after store healed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if open, _ := rs.Breaker().State(); open {
+		t.Error("breaker open after successful operation")
+	}
+	if rs.Breaker().Opens() == 0 {
+		t.Error("breaker open count not recorded")
+	}
+}
+
+func TestWithRetryIdempotent(t *testing.T) {
+	rs := WithRetry(NewMemStore(), fastRetryPolicy())
+	if again := WithRetry(rs, fastRetryPolicy()); again != rs {
+		t.Error("WithRetry stacked a second retry layer")
+	}
+	if WithDefaultRetry(rs) != rs {
+		t.Error("WithDefaultRetry stacked a second retry layer")
+	}
+	if rs.Inner() == nil {
+		t.Error("Inner lost")
+	}
+}
+
+func TestRetryingStoreDelete(t *testing.T) {
+	mem := NewMemStore()
+	if err := mem.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	rs := WithRetry(mem, fastRetryPolicy())
+	if err := rs.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Error("delete did not pass through")
+	}
+}

@@ -1,0 +1,110 @@
+package retry
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"logstore/internal/metrics"
+)
+
+// ErrOpen is returned (wrapped) when the circuit is open and an
+// operation is refused without touching the backing service. It is
+// transient: retry schedules back off until the cooldown admits a
+// probe.
+var ErrOpen = errors.New("retry: circuit breaker open")
+
+// Breaker is a consecutive-failure circuit breaker. After Threshold
+// consecutive failures the circuit opens and Allow refuses operations
+// for Cooldown; then a single probe is admitted (half-open) and its
+// outcome closes or re-opens the circuit. A consecutive-failure
+// threshold (rather than a rate) keeps moderate random fault rates —
+// the chaos tests run 1–10% — from ever opening the circuit, while a
+// hard outage opens it after Threshold calls.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test hook
+
+	mu          sync.Mutex
+	consecutive int
+	openedAt    time.Time
+	open        bool
+	probing     bool
+
+	opens metrics.Counter
+}
+
+// NewBreaker returns a closed breaker. threshold <= 0 selects 8;
+// cooldown <= 0 selects 500ms.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 8
+	}
+	if cooldown <= 0 {
+		cooldown = 500 * time.Millisecond
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether an operation may proceed. While open, it
+// returns false until the cooldown has passed, then admits exactly one
+// probe at a time.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.now().Sub(b.openedAt) < b.cooldown {
+		return false
+	}
+	// Half-open: one probe in flight at a time.
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Success records a successful operation, closing the circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.open = false
+	b.probing = false
+}
+
+// Failure records a failed operation; the circuit opens at the
+// consecutive-failure threshold, and a failed half-open probe re-opens
+// it (restarting the cooldown).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.probing {
+		// Failed probe: re-open and restart the cooldown.
+		b.probing = false
+		b.open = true
+		b.openedAt = b.now()
+		b.opens.Inc()
+		return
+	}
+	if !b.open && b.consecutive >= b.threshold {
+		b.open = true
+		b.openedAt = b.now()
+		b.opens.Inc()
+	}
+}
+
+// State reports the breaker's instantaneous condition.
+func (b *Breaker) State() (open bool, consecutiveFailures int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open, b.consecutive
+}
+
+// Opens returns how many times the circuit has opened (including
+// re-opens after failed probes).
+func (b *Breaker) Opens() int64 { return b.opens.Value() }

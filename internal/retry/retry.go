@@ -1,0 +1,250 @@
+// Package retry implements the fault-tolerance primitives LogStore
+// uses against cloud object storage: exponential backoff with full
+// jitter, per-attempt and overall deadlines, a transient/permanent
+// error classifier, and a circuit breaker. Object stores throttle and
+// fail transiently under multi-tenant load as a matter of course
+// (paper §3.1: archiving and reads both cross the OSS boundary), so
+// every OSS touchpoint — builder uploads, prefetch reads, catalog
+// checkpoints — routes through these primitives instead of treating a
+// storage error as fatal.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"logstore/internal/metrics"
+)
+
+// Class labels an error for retry purposes.
+type Class int
+
+const (
+	// Transient errors (throttles, timeouts, injected faults) are
+	// retried with backoff.
+	Transient Class = iota
+	// Permanent errors (missing objects, invalid arguments) fail
+	// immediately: retrying cannot succeed.
+	Permanent
+)
+
+// Classifier decides whether an error is worth retrying.
+type Classifier func(error) Class
+
+// permanentError marks an error as not retryable.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// MarkPermanent wraps err so classifiers (including the default) treat
+// it as permanent. A nil err returns nil.
+func MarkPermanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err was wrapped by MarkPermanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// DefaultClassifier treats everything as transient except errors marked
+// with MarkPermanent and context cancellation/deadline errors (the
+// caller's deadline expiring is not the storage tier's fault; retrying
+// past it is useless). Callers with richer error vocabularies (see
+// oss.ClassifyError) layer their own classifier on top.
+func DefaultClassifier(err error) Class {
+	if IsPermanent(err) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return Permanent
+	}
+	return Transient
+}
+
+// Policy configures Do. The zero value selects production-shaped
+// defaults: 8 attempts, 10ms initial backoff doubling to a 2s cap,
+// full jitter, no deadlines.
+type Policy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	// 0 selects 8; 1 disables retrying.
+	MaxAttempts int
+	// InitialBackoff is the cap of the first retry's jittered sleep
+	// (0 = 10ms).
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth (0 = 2s).
+	MaxBackoff time.Duration
+	// Multiplier grows the backoff cap per attempt (0 = 2).
+	Multiplier float64
+	// PerAttemptTimeout bounds each attempt via the context passed to
+	// the operation (0 = none). Operations that ignore their context
+	// are still bounded by OverallTimeout's check between attempts.
+	PerAttemptTimeout time.Duration
+	// OverallTimeout bounds the whole Do call including backoff sleeps
+	// (0 = none).
+	OverallTimeout time.Duration
+	// Classify labels errors (nil = DefaultClassifier).
+	Classify Classifier
+	// Seed makes jitter deterministic for tests (0 = shared global rng).
+	Seed int64
+	// Sleep is a test hook replacing time.Sleep (nil = real sleep).
+	Sleep func(time.Duration)
+	// OnRetry, when set, observes every scheduled retry (attempt is the
+	// 1-based attempt that just failed).
+	OnRetry func(attempt int, err error, backoff time.Duration)
+	// Stats, when set, accumulates attempt/retry counters shared across
+	// calls (e.g. one Stats per store wrapper).
+	Stats *Stats
+}
+
+// Stats counts retry activity; safe for concurrent use.
+type Stats struct {
+	// Attempts counts every operation attempt, including first tries.
+	Attempts metrics.Counter
+	// Retries counts attempts beyond the first.
+	Retries metrics.Counter
+	// Failures counts Do calls that returned an error.
+	Failures metrics.Counter
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Classify == nil {
+		p.Classify = DefaultClassifier
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// globalRng backs jitter when no per-policy seed is given.
+var (
+	globalRngMu sync.Mutex
+	globalRng   = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func (p Policy) jitter(rng *rand.Rand, capd time.Duration) time.Duration {
+	if capd <= 0 {
+		return 0
+	}
+	if rng != nil {
+		return time.Duration(rng.Int63n(int64(capd) + 1))
+	}
+	globalRngMu.Lock()
+	defer globalRngMu.Unlock()
+	return time.Duration(globalRng.Int63n(int64(capd) + 1))
+}
+
+// Do runs op with the policy's retry schedule. op receives a context
+// carrying the per-attempt deadline (derived from ctx). Do returns nil
+// on the first success, the last error once attempts are exhausted, a
+// permanent error immediately, or the context error when ctx or the
+// overall deadline expires mid-schedule.
+func Do(ctx context.Context, p Policy, op func(context.Context) error) error {
+	p = p.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p.OverallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.OverallTimeout)
+		defer cancel()
+	}
+	var rng *rand.Rand
+	if p.Seed != 0 {
+		rng = rand.New(rand.NewSource(p.Seed))
+	}
+
+	backoffCap := p.InitialBackoff
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				err = fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+			}
+			if p.Stats != nil {
+				p.Stats.Failures.Inc()
+			}
+			return err
+		}
+		if p.Stats != nil {
+			p.Stats.Attempts.Inc()
+			if attempt > 1 {
+				p.Stats.Retries.Inc()
+			}
+		}
+		attemptCtx := ctx
+		var cancel context.CancelFunc
+		if p.PerAttemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, p.PerAttemptTimeout)
+		}
+		err := op(attemptCtx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if p.Classify(err) == Permanent {
+			if p.Stats != nil {
+				p.Stats.Failures.Inc()
+			}
+			return err
+		}
+		if attempt >= p.MaxAttempts {
+			if p.Stats != nil {
+				p.Stats.Failures.Inc()
+			}
+			return fmt.Errorf("retry: %d attempts exhausted: %w", attempt, err)
+		}
+		sleep := p.jitter(rng, backoffCap)
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err, sleep)
+		}
+		if sleep > 0 {
+			p.Sleep(sleep)
+		}
+		next := time.Duration(float64(backoffCap) * p.Multiplier)
+		if next > p.MaxBackoff || next < backoffCap {
+			next = p.MaxBackoff
+		}
+		backoffCap = next
+	}
+}
+
+// DoValue is Do for operations returning a value.
+func DoValue[T any](ctx context.Context, p Policy, op func(context.Context) (T, error)) (T, error) {
+	var out T
+	err := Do(ctx, p, func(c context.Context) error {
+		v, err := op(c)
+		if err != nil {
+			return err
+		}
+		out = v
+		return nil
+	})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return out, nil
+}

@@ -1,0 +1,298 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fastPolicy returns a deterministic, non-sleeping policy for tests.
+func fastPolicy(attempts int) Policy {
+	return Policy{
+		MaxAttempts:    attempts,
+		InitialBackoff: time.Millisecond,
+		MaxBackoff:     4 * time.Millisecond,
+		Seed:           42,
+		Sleep:          func(time.Duration) {},
+	}
+}
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastPolicy(5), func(context.Context) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoRetriesTransientUntilSuccess(t *testing.T) {
+	calls := 0
+	var stats Stats
+	p := fastPolicy(8)
+	p.Stats = &stats
+	err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		if calls < 4 {
+			return errors.New("transient blip")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	if stats.Attempts.Value() != 4 || stats.Retries.Value() != 3 || stats.Failures.Value() != 0 {
+		t.Fatalf("stats attempts=%d retries=%d failures=%d",
+			stats.Attempts.Value(), stats.Retries.Value(), stats.Failures.Value())
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	var stats Stats
+	p := fastPolicy(3)
+	p.Stats = &stats
+	base := errors.New("always failing")
+	err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		return base
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("exhausted error %v does not wrap cause", err)
+	}
+	if stats.Failures.Value() != 1 {
+		t.Fatalf("failures = %d", stats.Failures.Value())
+	}
+}
+
+func TestDoPermanentFailsImmediately(t *testing.T) {
+	calls := 0
+	base := errors.New("no such object")
+	err := Do(context.Background(), fastPolicy(8), func(context.Context) error {
+		calls++
+		return MarkPermanent(base)
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error retried: calls = %d", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("error %v lost cause", err)
+	}
+	if !IsPermanent(err) {
+		t.Error("IsPermanent lost through return")
+	}
+}
+
+func TestDoCustomClassifier(t *testing.T) {
+	permanent := errors.New("bad request")
+	p := fastPolicy(8)
+	p.Classify = func(err error) Class {
+		if errors.Is(err, permanent) {
+			return Permanent
+		}
+		return Transient
+	}
+	calls := 0
+	if err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		return permanent
+	}); !errors.Is(err, permanent) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := fastPolicy(100)
+	err := Do(ctx, p, func(context.Context) error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+func TestDoOverallTimeout(t *testing.T) {
+	p := Policy{
+		MaxAttempts:    1000,
+		InitialBackoff: time.Millisecond,
+		MaxBackoff:     time.Millisecond,
+		OverallTimeout: 30 * time.Millisecond,
+		Seed:           1,
+	}
+	start := time.Now()
+	err := Do(context.Background(), p, func(context.Context) error {
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("overall deadline not enforced: ran %v", elapsed)
+	}
+}
+
+func TestDoPerAttemptDeadlinePropagates(t *testing.T) {
+	p := fastPolicy(2)
+	p.PerAttemptTimeout = 5 * time.Millisecond
+	sawDeadline := false
+	err := Do(context.Background(), p, func(ctx context.Context) error {
+		d, ok := ctx.Deadline()
+		if ok && time.Until(d) <= p.PerAttemptTimeout {
+			sawDeadline = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawDeadline {
+		t.Error("per-attempt deadline not visible to operation")
+	}
+}
+
+func TestBackoffGrowsAndIsJittered(t *testing.T) {
+	var caps []time.Duration
+	p := Policy{
+		MaxAttempts:    5,
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     40 * time.Millisecond,
+		Seed:           7,
+		Sleep:          func(time.Duration) {},
+		OnRetry: func(_ int, _ error, backoff time.Duration) {
+			caps = append(caps, backoff)
+		},
+	}
+	_ = Do(context.Background(), p, func(context.Context) error {
+		return errors.New("transient")
+	})
+	if len(caps) != 4 {
+		t.Fatalf("retries = %d, want 4", len(caps))
+	}
+	// Full jitter: each value in [0, cap_i] with cap doubling to the max.
+	limits := []time.Duration{10, 20, 40, 40}
+	for i, d := range caps {
+		if d < 0 || d > limits[i]*time.Millisecond {
+			t.Errorf("backoff %d = %v beyond cap %v", i, d, limits[i]*time.Millisecond)
+		}
+	}
+}
+
+func TestDoValue(t *testing.T) {
+	calls := 0
+	v, err := DoValue(context.Background(), fastPolicy(5), func(context.Context) (int, error) {
+		calls++
+		if calls < 2 {
+			return 0, errors.New("transient")
+		}
+		return 99, nil
+	})
+	if err != nil || v != 99 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+	if _, err := DoValue(context.Background(), fastPolicy(2), func(context.Context) (int, error) {
+		return 7, MarkPermanent(errors.New("nope"))
+	}); err == nil {
+		t.Error("permanent error swallowed")
+	}
+}
+
+func TestMarkPermanentNil(t *testing.T) {
+	if MarkPermanent(nil) != nil {
+		t.Error("MarkPermanent(nil) != nil")
+	}
+	if IsPermanent(errors.New("plain")) {
+		t.Error("plain error classified permanent")
+	}
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused")
+		}
+		b.Failure()
+	}
+	if open, _ := b.State(); open {
+		t.Fatal("opened below threshold")
+	}
+	b.Failure()
+	if open, n := b.State(); !open || n != 3 {
+		t.Fatalf("open=%v consecutive=%d", open, n)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted operation before cooldown")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens = %d", b.Opens())
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	// Interleaved failures never open the breaker: random faults at
+	// modest rates must not trip it.
+	for i := 0; i < 50; i++ {
+		b.Failure()
+		b.Failure()
+		b.Success()
+	}
+	if open, _ := b.State(); open {
+		t.Fatal("interleaved failures opened breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(2, 100*time.Millisecond)
+	b.now = func() time.Time { return now }
+	b.Failure()
+	b.Failure() // opens
+	if b.Allow() {
+		t.Fatal("admitted during cooldown")
+	}
+	now = now.Add(150 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused after cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Failed probe re-opens and restarts cooldown.
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("admitted right after failed probe")
+	}
+	now = now.Add(150 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Success()
+	if open, _ := b.State(); open {
+		t.Fatal("successful probe left breaker open")
+	}
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("closed breaker refusing")
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("opens = %d, want 2 (initial + failed probe)", b.Opens())
+	}
+}

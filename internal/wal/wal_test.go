@@ -295,3 +295,60 @@ func BenchmarkAppend(b *testing.B) {
 		}
 	}
 }
+
+// TestTruncatedMidRecordRecovery simulates the other crash shape: the
+// file is cut short partway through a record (power loss before the
+// tail page hit disk), not extended with garbage. Reopen must replay
+// the intact prefix, discard the torn record, and truncate the file
+// back to the last valid boundary so later appends are clean.
+func TestTruncatedMidRecordRecovery(t *testing.T) {
+	cases := []struct {
+		name string
+		cut  int64 // bytes removed from the file tail
+	}{
+		{"mid-payload", 3}, // last record loses part of its payload
+		{"mid-header", 13}, // "record-19" (9B) + 8B header - 4B left
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l := openLog(t, dir, Options{})
+			appendN(t, l, 0, 20)
+			l.Close()
+
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last := filepath.Join(dir, entries[len(entries)-1].Name())
+			st, err := os.Stat(last)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(last, st.Size()-tc.cut); err != nil {
+				t.Fatal(err)
+			}
+
+			l2 := openLog(t, dir, Options{})
+			defer l2.Close()
+			// Record 20 is torn; seqs 1..19 survive.
+			if l2.NextSeq() != 20 {
+				t.Fatalf("NextSeq = %d, want 20", l2.NextSeq())
+			}
+			got := replayAll(t, l2)
+			if len(got) != 19 {
+				t.Fatalf("replayed %d records, want 19", len(got))
+			}
+			for i := 0; i < 19; i++ {
+				if got[uint64(i+1)] != fmt.Sprintf("record-%d", i) {
+					t.Fatalf("seq %d = %q", i+1, got[uint64(i+1)])
+				}
+			}
+			// Repair must leave a clean boundary: new appends replay.
+			appendN(t, l2, 19, 2)
+			if len(replayAll(t, l2)) != 21 {
+				t.Fatal("append after mid-record repair broken")
+			}
+		})
+	}
+}

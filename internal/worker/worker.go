@@ -165,6 +165,11 @@ func New(cfg Config, sch *schema.Schema, store oss.Store, catalog *meta.Manager)
 	if err != nil {
 		return nil, err
 	}
+	// All of the worker's OSS traffic — prefetch reads, archive
+	// uploads, compaction rewrites — retries transient faults behind
+	// one shared circuit breaker (WithDefaultRetry is idempotent, so a
+	// store wrapped by the cluster is not double-wrapped).
+	store = oss.WithDefaultRetry(store)
 	bld, err := builder.New(cfg.Builder, sch, store, catalog)
 	if err != nil {
 		return nil, err

@@ -207,9 +207,12 @@ func Open(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		cfg:        cfg,
-		sch:        cfg.Schema,
-		store:      cfg.Store,
+		cfg: cfg,
+		sch: cfg.Schema,
+		// Every OSS touchpoint in the cluster — builder uploads,
+		// prefetch reads, catalog checkpoints — goes through one
+		// retrying wrapper (idempotent if cfg.Store is already one).
+		store:      oss.WithDefaultRetry(cfg.Store),
 		catalog:    meta.NewManager(),
 		workers:    make(map[flow.WorkerID]*worker.Worker),
 		shardOwner: make(map[flow.ShardID]flow.WorkerID),
