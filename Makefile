@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench clean
+.PHONY: check fmt vet build test race bench bench-all clean
 
 ## check: the tier-1 gate — formatting, vet, build, race-enabled tests.
 check: fmt vet build race
@@ -23,7 +23,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+## bench: the scan/materialize/ingest micro-benchmarks tracked across
+## perf PRs; writes BENCH_scan.json (ns/op, B/op, allocs/op per bench).
 bench:
+	$(GO) test -bench 'BenchmarkScan|BenchmarkMaterialize|BenchmarkCountStar' \
+		-benchmem -run '^$$' ./internal/query/ > /tmp/bench_scan.txt
+	$(GO) test -bench 'BenchmarkIngestThroughput$$' -benchmem -run '^$$' . >> /tmp/bench_scan.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_scan.txt > BENCH_scan.json
+
+## bench-all: every benchmark in the tree, one iteration (smoke).
+bench-all:
 	$(GO) test -bench=. -benchtime=1x ./...
 
 clean:

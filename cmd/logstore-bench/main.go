@@ -17,12 +17,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"logstore/internal/experiments"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries main's body so profile-writing defers run before the
+// process exits.
+func realMain() int {
 	var (
 		which        = flag.String("experiment", "all", "which figure to regenerate (fig1..fig17, all)")
 		tenants      = flag.Int("tenants", 0, "tenant count (0 = default scale)")
@@ -33,8 +41,41 @@ func main() {
 		totalRate    = flag.Float64("total-rate", 0, "aggregate demand (rows/s) for traffic experiments")
 		seed         = flag.Int64("seed", 0, "workload seed (0 = default)")
 		paperScale   = flag.Bool("paper-scale", false, "approximate the paper's full experiment sizes (slow)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	scale := experiments.DefaultScale()
 	if *paperScale {
@@ -62,17 +103,18 @@ func main() {
 		scale.Seed = *seed
 	}
 
-	run := func(name string, fn func() ([]*experiments.Table, error)) {
+	// run returns rather than exiting so profile-writing defers fire.
+	run := func(name string, fn func() ([]*experiments.Table, error)) error {
 		start := time.Now()
 		tables, err := fn()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		for _, t := range tables {
 			t.Print(os.Stdout)
 		}
 		fmt.Fprintf(os.Stderr, "%s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
 	}
 
 	all := map[string]func() ([]*experiments.Table, error){
@@ -130,16 +172,23 @@ func main() {
 	}
 
 	order := []string{"fig1", "fig2", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "hetero", "ablations"}
+	exit := 0
 	if *which == "all" {
 		for _, name := range order {
-			run(name, all[name])
+			if err := run(name, all[name]); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit = 1
+				break
+			}
 		}
-		return
-	}
-	fn, ok := all[*which]
-	if !ok {
+	} else if fn, ok := all[*which]; ok {
+		if err := run(*which, fn); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+		}
+	} else {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of %v or all\n", *which, order)
-		os.Exit(2)
+		exit = 2
 	}
-	run(*which, fn)
+	return exit
 }

@@ -114,6 +114,140 @@ func (b *Bitset) AndNot(other *Bitset) {
 	}
 }
 
+// rangeMasks returns the word index range [wlo, whi] covering bit range
+// [start, end) together with the partial-word masks of the first and
+// last word. Callers must have clamped start < end into [0, n).
+func rangeMasks(start, end int) (wlo, whi int, first, last uint64) {
+	wlo, whi = start>>6, (end-1)>>6
+	first = ^uint64(0) << uint(start&63)
+	last = ^uint64(0) >> uint(63-(end-1)&63)
+	return
+}
+
+// clampRange narrows [start, end) to [0, n); ok is false when empty.
+func (b *Bitset) clampRange(start, end int) (int, int, bool) {
+	if start < 0 {
+		start = 0
+	}
+	if end > b.n {
+		end = b.n
+	}
+	return start, end, start < end
+}
+
+// AnyInRange reports whether any bit in [start, end) is set, examining
+// whole words rather than probing bit by bit.
+func (b *Bitset) AnyInRange(start, end int) bool {
+	start, end, ok := b.clampRange(start, end)
+	if !ok {
+		return false
+	}
+	wlo, whi, first, last := rangeMasks(start, end)
+	if wlo == whi {
+		return b.words[wlo]&first&last != 0
+	}
+	if b.words[wlo]&first != 0 || b.words[whi]&last != 0 {
+		return true
+	}
+	for wi := wlo + 1; wi < whi; wi++ {
+		if b.words[wi] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CountInRange returns the number of set bits in [start, end).
+func (b *Bitset) CountInRange(start, end int) int {
+	start, end, ok := b.clampRange(start, end)
+	if !ok {
+		return 0
+	}
+	wlo, whi, first, last := rangeMasks(start, end)
+	if wlo == whi {
+		return bits.OnesCount64(b.words[wlo] & first & last)
+	}
+	c := bits.OnesCount64(b.words[wlo]&first) + bits.OnesCount64(b.words[whi]&last)
+	for wi := wlo + 1; wi < whi; wi++ {
+		c += bits.OnesCount64(b.words[wi])
+	}
+	return c
+}
+
+// ClearRange clears every bit in [start, end).
+func (b *Bitset) ClearRange(start, end int) {
+	start, end, ok := b.clampRange(start, end)
+	if !ok {
+		return
+	}
+	wlo, whi, first, last := rangeMasks(start, end)
+	if wlo == whi {
+		b.words[wlo] &^= first & last
+		return
+	}
+	b.words[wlo] &^= first
+	b.words[whi] &^= last
+	for wi := wlo + 1; wi < whi; wi++ {
+		b.words[wi] = 0
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1
+// when no further bit is set.
+func (b *Bitset) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= b.n {
+		return -1
+	}
+	wi := i >> 6
+	w := b.words[wi] >> uint(i&63)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b.words); wi++ {
+		if b.words[wi] != 0 {
+			return wi<<6 + bits.TrailingZeros64(b.words[wi])
+		}
+	}
+	return -1
+}
+
+// FilterRange clears every set bit i in [start, end) for which keep(i)
+// returns false. The scan engine's predicate kernels use it to narrow
+// an accumulator word by word: each word is snapshotted, its set bits
+// evaluated, and the cleared mask written back in one store.
+func (b *Bitset) FilterRange(start, end int, keep func(i int) bool) {
+	start, end, ok := b.clampRange(start, end)
+	if !ok {
+		return
+	}
+	wlo, whi, first, last := rangeMasks(start, end)
+	for wi := wlo; wi <= whi; wi++ {
+		mask := ^uint64(0)
+		if wi == wlo {
+			mask &= first
+		}
+		if wi == whi {
+			mask &= last
+		}
+		w := b.words[wi] & mask
+		if w == 0 {
+			continue
+		}
+		drop := uint64(0)
+		base := wi << 6
+		for rem := w; rem != 0; rem &= rem - 1 {
+			tz := bits.TrailingZeros64(rem)
+			if !keep(base + tz) {
+				drop |= 1 << uint(tz)
+			}
+		}
+		b.words[wi] &^= drop
+	}
+}
+
 // Any reports whether at least one bit is set.
 func (b *Bitset) Any() bool {
 	for _, w := range b.words {

@@ -19,6 +19,7 @@ import (
 	"compress/flate"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Codec identifies a compression algorithm in the on-disk format.
@@ -69,6 +70,30 @@ func ParseCodec(name string) (Codec, error) {
 	}
 }
 
+// flateWriterPool recycles DEFLATE compressors. A flate.Writer at
+// BestCompression owns several hundred KB of window and hash state, so
+// constructing one per block dominated the archive path's allocations.
+var flateWriterPool = sync.Pool{
+	New: func() any {
+		w, err := flate.NewWriter(io.Discard, flate.BestCompression)
+		if err != nil {
+			// flate.NewWriter only fails on invalid levels; BestCompression
+			// is a constant, so this is unreachable.
+			panic(fmt.Sprintf("compress: flate init: %v", err))
+		}
+		return w
+	},
+}
+
+// flateReader bundles a recyclable DEFLATE decompressor with the
+// bytes.Reader it drains, so a pooled decode allocates neither.
+type flateReader struct {
+	br bytes.Reader
+	fr io.ReadCloser
+}
+
+var flateReaderPool = sync.Pool{New: func() any { return new(flateReader) }}
+
 // Compress compresses src with the given codec and returns a fresh buffer.
 func Compress(c Codec, src []byte) ([]byte, error) {
 	switch c {
@@ -80,15 +105,16 @@ func Compress(c Codec, src []byte) ([]byte, error) {
 		return lzCompress(src), nil
 	case Zstd:
 		var buf bytes.Buffer
-		w, err := flate.NewWriter(&buf, flate.BestCompression)
-		if err != nil {
-			return nil, fmt.Errorf("compress: flate init: %w", err)
+		w := flateWriterPool.Get().(*flate.Writer)
+		w.Reset(&buf)
+		_, werr := w.Write(src)
+		cerr := w.Close()
+		flateWriterPool.Put(w)
+		if werr != nil {
+			return nil, fmt.Errorf("compress: flate write: %w", werr)
 		}
-		if _, err := w.Write(src); err != nil {
-			return nil, fmt.Errorf("compress: flate write: %w", err)
-		}
-		if err := w.Close(); err != nil {
-			return nil, fmt.Errorf("compress: flate close: %w", err)
+		if cerr != nil {
+			return nil, fmt.Errorf("compress: flate close: %w", cerr)
 		}
 		return buf.Bytes(), nil
 	default:
@@ -96,24 +122,61 @@ func Compress(c Codec, src []byte) ([]byte, error) {
 	}
 }
 
-// Decompress reverses Compress.
+// Decompress reverses Compress into a fresh buffer.
 func Decompress(c Codec, src []byte) ([]byte, error) {
+	return AppendDecompress(nil, c, src)
+}
+
+// AppendDecompress decompresses src and appends the output to dst,
+// returning the extended slice. Scan paths pass recycled scratch
+// buffers so steady-state block decode performs no payload allocation.
+func AppendDecompress(dst []byte, c Codec, src []byte) ([]byte, error) {
 	switch c {
 	case None:
-		out := make([]byte, len(src))
-		copy(out, src)
-		return out, nil
+		return append(dst, src...), nil
 	case LZ4:
-		return lzDecompress(src)
+		return lzDecompressAppend(dst, src)
 	case Zstd:
-		r := flate.NewReader(bytes.NewReader(src))
-		defer r.Close()
-		out, err := io.ReadAll(r)
+		r := flateReaderPool.Get().(*flateReader)
+		r.br.Reset(src)
+		if r.fr == nil {
+			r.fr = flate.NewReader(&r.br)
+		} else if err := r.fr.(flate.Resetter).Reset(&r.br, nil); err != nil {
+			flateReaderPool.Put(r)
+			return nil, fmt.Errorf("compress: flate reset: %w", err)
+		}
+		out, err := readAppend(dst, r.fr)
+		flateReaderPool.Put(r)
 		if err != nil {
 			return nil, fmt.Errorf("compress: flate decode: %w", err)
 		}
 		return out, nil
 	default:
 		return nil, fmt.Errorf("compress: unknown codec %d", c)
+	}
+}
+
+// readAppend drains r appending to dst, growing geometrically like
+// io.ReadAll but into a caller-supplied (typically recycled) buffer.
+func readAppend(dst []byte, r io.Reader) ([]byte, error) {
+	if cap(dst)-len(dst) < 512 {
+		grown := make([]byte, len(dst), max(cap(dst)*2, len(dst)+4096))
+		copy(grown, dst)
+		dst = grown
+	}
+	for {
+		if len(dst) == cap(dst) {
+			grown := make([]byte, len(dst), cap(dst)*2)
+			copy(grown, dst)
+			dst = grown
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -264,4 +265,67 @@ func BenchmarkDecompressZstd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// TestAppendDecompress verifies the appending decode path: output lands
+// after existing dst content, for every codec, including recycled
+// buffers with spare capacity.
+func TestAppendDecompress(t *testing.T) {
+	payload := []byte("the quick brown fox jumps over the lazy dog, twice: the quick brown fox")
+	for _, c := range []Codec{None, LZ4, Zstd} {
+		comp, err := Compress(c, payload)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		prefix := []byte("PREFIX")
+		dst := append(make([]byte, 0, 1024), prefix...)
+		out, err := AppendDecompress(dst, c, comp)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if string(out[:len(prefix)]) != string(prefix) {
+			t.Fatalf("%v: prefix clobbered: %q", c, out[:len(prefix)])
+		}
+		if string(out[len(prefix):]) != string(payload) {
+			t.Fatalf("%v: payload mismatch: %q", c, out[len(prefix):])
+		}
+		// Second decode into the recycled buffer must still be correct.
+		out2, err := AppendDecompress(out[:0], c, comp)
+		if err != nil {
+			t.Fatalf("%v: recycled: %v", c, err)
+		}
+		if string(out2) != string(payload) {
+			t.Fatalf("%v: recycled payload mismatch", c)
+		}
+	}
+}
+
+// TestCompressPooledReuse runs compress/decompress cycles concurrently
+// to shake races out of the pooled flate writer/reader state.
+func TestCompressPooledReuse(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh12345678"), 512)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				comp, err := Compress(Zstd, payload)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				out, err := Decompress(Zstd, comp)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(out, payload) {
+					t.Error("roundtrip mismatch")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

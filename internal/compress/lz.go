@@ -116,12 +116,24 @@ func lzCompress(src []byte) []byte {
 
 // lzDecompress reverses lzCompress.
 func lzDecompress(src []byte) ([]byte, error) {
+	return lzDecompressAppend(nil, src)
+}
+
+// lzDecompressAppend reverses lzCompress, appending the decompressed
+// bytes to dst. Match offsets are relative to the current output
+// position, so decoding is position-independent of any prior content.
+func lzDecompressAppend(dst, src []byte) ([]byte, error) {
 	size, n := binary.Uvarint(src)
 	if n <= 0 {
 		return nil, fmt.Errorf("compress: lz: bad size header")
 	}
 	src = src[n:]
-	dst := make([]byte, 0, size)
+	base := len(dst)
+	if cap(dst)-base < int(size) {
+		grown := make([]byte, base, base+int(size))
+		copy(grown, dst)
+		dst = grown
+	}
 
 	readLength := func(nibble byte) (int, error) {
 		v := int(nibble)
@@ -141,7 +153,7 @@ func lzDecompress(src []byte) ([]byte, error) {
 		}
 	}
 
-	for uint64(len(dst)) < size {
+	for uint64(len(dst)-base) < size {
 		if len(src) == 0 {
 			return nil, fmt.Errorf("compress: lz: truncated stream")
 		}
@@ -156,7 +168,7 @@ func lzDecompress(src []byte) ([]byte, error) {
 		}
 		dst = append(dst, src[:litLen]...)
 		src = src[litLen:]
-		if uint64(len(dst)) >= size {
+		if uint64(len(dst)-base) >= size {
 			break
 		}
 		if len(src) < 2 {
@@ -169,7 +181,7 @@ func lzDecompress(src []byte) ([]byte, error) {
 			return nil, err
 		}
 		matchLen += lzMinMatch
-		if offset == 0 || offset > len(dst) {
+		if offset == 0 || offset > len(dst)-base {
 			return nil, fmt.Errorf("compress: lz: bad offset %d at output %d", offset, len(dst))
 		}
 		// Byte-by-byte copy: overlapping matches (offset < matchLen) are
@@ -179,8 +191,8 @@ func lzDecompress(src []byte) ([]byte, error) {
 			dst = append(dst, dst[start+i])
 		}
 	}
-	if uint64(len(dst)) != size {
-		return nil, fmt.Errorf("compress: lz: size mismatch: got %d, want %d", len(dst), size)
+	if uint64(len(dst)-base) != size {
+		return nil, fmt.Errorf("compress: lz: size mismatch: got %d, want %d", len(dst)-base, size)
 	}
 	return dst, nil
 }

@@ -1,8 +1,6 @@
 package logblock
 
 import (
-	"fmt"
-
 	"logstore/internal/bitutil"
 	"logstore/internal/schema"
 )
@@ -62,40 +60,4 @@ func encodeStringBlock(rows []schema.Row, ci int) (byte, []byte) {
 		return encodingDict, dictPayload
 	}
 	return encodingPlain, plain
-}
-
-// decodeStringDict reverses the dictionary encoding.
-func decodeStringDict(payload []byte, rowCount int) ([]schema.Value, error) {
-	n, off, err := bitutil.Uvarint(payload)
-	if err != nil {
-		return nil, fmt.Errorf("logblock: dict size: %w", err)
-	}
-	if n > maxDictEntries {
-		return nil, fmt.Errorf("logblock: implausible dict size %d", n)
-	}
-	dict := make([]string, n)
-	for i := uint64(0); i < n; i++ {
-		s, c, err := bitutil.LenString(payload[off:])
-		if err != nil {
-			return nil, fmt.Errorf("logblock: dict entry %d: %w", i, err)
-		}
-		off += c
-		dict[i] = s
-	}
-	vals := make([]schema.Value, 0, rowCount)
-	for i := 0; i < rowCount; i++ {
-		idx, c, err := bitutil.Uvarint(payload[off:])
-		if err != nil {
-			return nil, fmt.Errorf("logblock: dict index %d: %w", i, err)
-		}
-		off += c
-		if idx >= n {
-			return nil, fmt.Errorf("logblock: dict index %d out of range %d", idx, n)
-		}
-		vals = append(vals, schema.StringValue(dict[idx]))
-	}
-	if off != len(payload) {
-		return nil, fmt.Errorf("logblock: dict block has %d trailing bytes", len(payload)-off)
-	}
-	return vals, nil
 }

@@ -5,9 +5,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"logstore/internal/bitutil"
-	"logstore/internal/compress"
 	"logstore/internal/index/bkd"
 	"logstore/internal/index/inverted"
 	"logstore/internal/schema"
@@ -66,7 +66,44 @@ type Reader struct {
 	mu       sync.Mutex
 	invCache map[int]*inverted.Index
 	bkdCache map[int]*bkd.Tree
+
+	// retained approximates the bytes memoized on the reader itself
+	// (manifest + meta + parsed index segments), so cache levels holding
+	// readers can charge real cost instead of a guess.
+	retained atomic.Int64
+
+	// vecCache, when set, is the shared decoded-vector cache level;
+	// vecKey identifies this object in its keyspace.
+	vecCache VectorCache
+	vecKey   string
 }
+
+// VectorCache is the decoded-vector cache level consulted by
+// BlockVector: decoded column vectors are shared across queries keyed
+// by (object, column, block) with byte-cost accounting. cache.ObjectCache
+// satisfies it.
+type VectorCache interface {
+	Get(key string) (any, bool)
+	Put(key string, value any, size int64)
+}
+
+// VectorCacheKey returns the canonical decoded-vector cache key of one
+// column block of one packed object.
+func VectorCacheKey(object string, col, bi int) string {
+	return fmt.Sprintf("vec:%s/%d/%d", object, col, bi)
+}
+
+// SetVectorCache attaches a shared decoded-vector cache, keying this
+// reader's blocks under the given object identity (its storage path).
+func (r *Reader) SetVectorCache(c VectorCache, object string) {
+	r.vecCache = c
+	r.vecKey = object
+}
+
+// RetainedBytes reports the approximate memory the reader retains:
+// manifest, decoded meta, and memoized index segments. It grows as
+// indexes are loaded, so long-lived holders should re-poll.
+func (r *Reader) RetainedBytes() int64 { return r.retained.Load() }
 
 // OpenReader reads the manifest (via the leading tar header) and the
 // meta member.
@@ -95,6 +132,8 @@ func OpenReader(f Fetcher) (*Reader, error) {
 	if r.Meta, err = DecodeMeta(metaRaw); err != nil {
 		return nil, err
 	}
+	const readerOverhead = 512 // structs, maps, slice headers
+	r.retained.Store(msize + int64(len(metaRaw)) + readerOverhead)
 	return r, nil
 }
 
@@ -137,6 +176,9 @@ func (r *Reader) InvertedIndex(col int) (*inverted.Index, error) {
 	if r.invCache == nil {
 		r.invCache = make(map[int]*inverted.Index)
 	}
+	if _, dup := r.invCache[col]; !dup {
+		r.retained.Add(int64(len(raw)))
+	}
 	r.invCache[col] = ix
 	r.mu.Unlock()
 	return ix, nil
@@ -166,79 +208,59 @@ func (r *Reader) BKDIndex(col int) (*bkd.Tree, error) {
 	if r.bkdCache == nil {
 		r.bkdCache = make(map[int]*bkd.Tree)
 	}
+	if _, dup := r.bkdCache[col]; !dup {
+		r.retained.Add(int64(len(raw)))
+	}
 	r.bkdCache[col] = t
 	r.mu.Unlock()
 	return t, nil
 }
 
+// BlockVector fetches and decodes column col's block bi as a typed
+// vector, consulting (and populating) the decoded-vector cache when one
+// is attached. The returned vector is shared and must not be mutated.
+func (r *Reader) BlockVector(col, bi int) (*Vector, error) {
+	var key string
+	if r.vecCache != nil {
+		key = VectorCacheKey(r.vecKey, col, bi)
+		if v, ok := r.vecCache.Get(key); ok {
+			return v.(*Vector), nil
+		}
+	}
+	raw, err := r.ReadMember(DataMember(col, bi))
+	if err != nil {
+		return nil, err
+	}
+	vec, err := DecodeBlockVector(r.Meta, col, bi, raw)
+	if err != nil {
+		return nil, err
+	}
+	if r.vecCache != nil {
+		r.vecCache.Put(key, vec, vec.SizeBytes())
+	}
+	return vec, nil
+}
+
 // BlockValues fetches and decodes column col's block bi, returning the
 // values and the validity bitset (positions relative to the block).
+// It is the boxed compatibility shim over BlockVector; scan paths use
+// the typed vector directly.
 func (r *Reader) BlockValues(col, bi int) ([]schema.Value, *bitutil.Bitset, error) {
-	raw, err := r.ReadMember(DataMember(col, bi))
+	vec, err := r.BlockVector(col, bi)
 	if err != nil {
 		return nil, nil, err
 	}
-	return DecodeBlockData(r.Meta, col, bi, raw)
+	return vec.Values(), vec.Valid, nil
 }
 
-// DecodeBlockData decodes one raw data member: len-prefixed validity
-// bitset, one encoding byte, then the codec-compressed value payload.
+// DecodeBlockData decodes one raw data member into boxed values: the
+// compatibility shim over DecodeBlockVector.
 func DecodeBlockData(m *Meta, col, bi int, raw []byte) ([]schema.Value, *bitutil.Bitset, error) {
-	bsRaw, n, err := bitutil.LenBytes(raw)
+	vec, err := DecodeBlockVector(m, col, bi, raw)
 	if err != nil {
-		return nil, nil, fmt.Errorf("logblock: block %d/%d bitset: %w", col, bi, err)
+		return nil, nil, err
 	}
-	valid, err := bitutil.BitsetFromBytes(bsRaw)
-	if err != nil {
-		return nil, nil, fmt.Errorf("logblock: block %d/%d bitset: %w", col, bi, err)
-	}
-	if n >= len(raw) {
-		return nil, nil, fmt.Errorf("logblock: block %d/%d missing encoding byte", col, bi)
-	}
-	encoding := raw[n]
-	payload, err := compress.Decompress(m.Codec, raw[n+1:])
-	if err != nil {
-		return nil, nil, fmt.Errorf("logblock: block %d/%d payload: %w", col, bi, err)
-	}
-	rowCount := m.Columns[col].Blocks[bi].RowCount
-	typ := m.Schema.Columns[col].Type
-
-	if encoding == encodingDict {
-		if typ != schema.String {
-			return nil, nil, fmt.Errorf("logblock: block %d/%d dict-encoded non-string column", col, bi)
-		}
-		vals, err := decodeStringDict(payload, rowCount)
-		if err != nil {
-			return nil, nil, fmt.Errorf("logblock: block %d/%d: %w", col, bi, err)
-		}
-		return vals, valid, nil
-	}
-	if encoding != encodingPlain {
-		return nil, nil, fmt.Errorf("logblock: block %d/%d has unknown encoding %d", col, bi, encoding)
-	}
-	vals := make([]schema.Value, 0, rowCount)
-	off := 0
-	for i := 0; i < rowCount; i++ {
-		if typ == schema.Int64 {
-			v, n, err := bitutil.Varint(payload[off:])
-			if err != nil {
-				return nil, nil, fmt.Errorf("logblock: block %d/%d value %d: %w", col, bi, i, err)
-			}
-			off += n
-			vals = append(vals, schema.IntValue(v))
-		} else {
-			s, n, err := bitutil.LenString(payload[off:])
-			if err != nil {
-				return nil, nil, fmt.Errorf("logblock: block %d/%d value %d: %w", col, bi, i, err)
-			}
-			off += n
-			vals = append(vals, schema.StringValue(s))
-		}
-	}
-	if off != len(payload) {
-		return nil, nil, fmt.Errorf("logblock: block %d/%d has %d trailing bytes", col, bi, len(payload)-off)
-	}
-	return vals, valid, nil
+	return vec.Values(), vec.Valid, nil
 }
 
 // AllRows materializes the entire LogBlock, column block by column

@@ -20,6 +20,12 @@ type BuildOptions struct {
 	// Codec is the block compression codec; the zero value selects the
 	// paper's default (ZSTD-class).
 	Codec compress.Codec
+	// IntCodec is the codec for int64 column blocks. Left zero it
+	// follows an explicit Codec, but under the default codec it selects
+	// the speed-class codec: varint streams gain little from entropy
+	// coding, while DEFLATE charges a Huffman-table build to every
+	// block decode on the scan path.
+	IntCodec compress.Codec
 	// BlockRows is the column-block size in rows (0 = DefaultBlockRows).
 	BlockRows int
 	// BKDLeafSize tunes the numeric index (0 = bkd.DefaultLeafSize).
@@ -46,6 +52,13 @@ func Build(sch *schema.Schema, rows []schema.Row, opts BuildOptions) (*Built, er
 	}
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("logblock: cannot build an empty LogBlock")
+	}
+	if opts.IntCodec == compress.Unspecified {
+		if opts.Codec == compress.Unspecified {
+			opts.IntCodec = compress.LZ4
+		} else {
+			opts.IntCodec = opts.Codec
+		}
 	}
 	if opts.Codec == compress.Unspecified {
 		opts.Codec = compress.Default
@@ -136,12 +149,16 @@ func Build(sch *schema.Schema, rows []schema.Row, opts BuildOptions) (*Built, er
 			cm.SMA.Merge(bh.SMA)
 			cm.Blocks[bi] = bh
 
-			comp, err := compress.Compress(opts.Codec, payload)
+			codec := opts.Codec
+			if col.Type == schema.Int64 {
+				codec = opts.IntCodec
+			}
+			comp, err := compress.Compress(codec, payload)
 			if err != nil {
 				return nil, fmt.Errorf("logblock: column %d block %d: %w", ci, bi, err)
 			}
 			member := bitutil.AppendLenBytes(nil, valid.Bytes())
-			member = append(member, encoding)
+			member = append(member, encoding, byte(codec))
 			member = append(member, comp...)
 			members[DataMember(ci, bi)] = member
 		}

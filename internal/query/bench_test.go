@@ -1,0 +1,176 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"logstore/internal/bitutil"
+	"logstore/internal/index/sma"
+	"logstore/internal/logblock"
+	"logstore/internal/schema"
+)
+
+// Scan-path micro-benchmarks (the perf trajectory recorded in
+// BENCH_scan.json by `make bench`): predicate evaluation and
+// materialization over one in-memory LogBlock, exercising decompression,
+// block decode, and the bitset candidate machinery without any OSS or
+// cache layers in the way.
+
+const benchRows = 64 * 1024
+
+// benchReader builds a 64k-row request_log LogBlock and opens a reader
+// over the packed bytes. Indexes are suppressed so predicate evaluation
+// always takes the residual-scan path being measured.
+func benchReader(tb testing.TB) *logblock.Reader {
+	tb.Helper()
+	sch := schema.RequestLogSchema()
+	rows := make([]schema.Row, benchRows)
+	apis := []string{"/v1/get", "/v1/put", "/v1/list", "/v1/delete", "/admin/stats"}
+	for i := range rows {
+		rows[i] = schema.Row{
+			schema.IntValue(7),
+			schema.IntValue(int64(1000 + i)),
+			schema.StringValue(fmt.Sprintf("10.0.%d.%d", i/251%251, i%251)),
+			schema.StringValue(apis[i%len(apis)]),
+			schema.IntValue(int64(i * 37 % 1000)),
+			schema.StringValue("false"),
+			schema.StringValue(fmt.Sprintf("request %d served", i)),
+		}
+	}
+	built, err := logblock.Build(sch, rows, logblock.BuildOptions{NoIndexes: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	packed, err := built.Pack()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r, err := logblock.OpenReader(logblock.BytesFetcher(packed))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r
+}
+
+func benchQuery(preds ...Pred) *Query {
+	return &Query{Table: "request_log", Star: true, Preds: preds}
+}
+
+// BenchmarkScanInt64Pred measures the int64 residual scan: one
+// comparison predicate over the latency column, selecting ~half the
+// rows, data skipping on (block SMAs cannot refute an interleaved
+// distribution, so every column block is decoded and scanned).
+func BenchmarkScanInt64Pred(b *testing.B) {
+	r := benchReader(b)
+	q := benchQuery(Pred{Col: "latency", Op: sma.GE, Val: schema.IntValue(500)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var stats ExecStats
+		matched, err := MatchBlock(r, q, ExecOptions{DataSkipping: true}, &stats)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c := matched.Count(); c == 0 || c == benchRows {
+			b.Fatalf("degenerate match count %d", c)
+		}
+	}
+}
+
+// BenchmarkScanStringEq measures the string residual scan over the
+// dictionary-encoded api column.
+func BenchmarkScanStringEq(b *testing.B) {
+	r := benchReader(b)
+	q := benchQuery(Pred{Col: "api", Op: sma.EQ, Val: schema.StringValue("/v1/put")})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var stats ExecStats
+		matched, err := MatchBlock(r, q, ExecOptions{DataSkipping: true}, &stats)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if matched.Count() != benchRows/5 {
+			b.Fatalf("unexpected match count %d", matched.Count())
+		}
+	}
+}
+
+// BenchmarkScanConjunction measures a two-predicate conjunction (int64
+// range + string equality), the paper's retrieval-template shape.
+func BenchmarkScanConjunction(b *testing.B) {
+	r := benchReader(b)
+	q := benchQuery(
+		Pred{Col: "latency", Op: sma.GE, Val: schema.IntValue(900)},
+		Pred{Col: "api", Op: sma.EQ, Val: schema.StringValue("/v1/put")},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var stats ExecStats
+		if _, err := MatchBlock(r, q, ExecOptions{DataSkipping: true}, &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchMatched returns a match set selecting every stride-th row.
+func benchMatched(n, stride int) *bitutil.Bitset {
+	bs := bitutil.NewBitset(n)
+	for i := 0; i < n; i += stride {
+		bs.Set(i)
+	}
+	return bs
+}
+
+// BenchmarkMaterialize measures projecting two columns (one int64, one
+// string) for a 1-in-16 match set.
+func BenchmarkMaterialize(b *testing.B) {
+	r := benchReader(b)
+	matched := benchMatched(benchRows, 16)
+	cols := []int{r.Meta.Schema.ColumnIndex("latency"), r.Meta.Schema.ColumnIndex("log")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := Materialize(r, matched, cols)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != benchRows/16 {
+			b.Fatalf("unexpected row count %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkMaterializeSparse measures the same projection for a sparse
+// (1-in-4096) match set, where skipping untouched column blocks is the
+// dominant effect.
+func BenchmarkMaterializeSparse(b *testing.B) {
+	r := benchReader(b)
+	matched := benchMatched(benchRows, 4096)
+	cols := []int{r.Meta.Schema.ColumnIndex("latency"), r.Meta.Schema.ColumnIndex("log")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Materialize(r, matched, cols); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCountStar measures the COUNT(*) path: match + count, no
+// materialization.
+func BenchmarkCountStar(b *testing.B) {
+	r := benchReader(b)
+	q := &Query{
+		Table:     "request_log",
+		CountStar: true,
+		Preds:     []Pred{{Col: "latency", Op: sma.LT, Val: schema.IntValue(250)}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var stats ExecStats
+		rows, err := ExecuteBlock(r, q, ExecOptions{DataSkipping: true}, &stats)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows counted")
+		}
+	}
+}

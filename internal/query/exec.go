@@ -208,8 +208,11 @@ func indexLookup(r *logblock.Reader, p Pred, stats *ExecStats) (*bitutil.Bitset,
 
 // verifyScan narrows acc by evaluating p against the column's stored
 // values, scanning only column blocks that can matter: blocks with no
-// candidate row in acc are skipped outright, and (with skipping on)
-// blocks whose block-level SMA refutes p are skipped too.
+// candidate row in acc are skipped outright (a word-level range probe),
+// and (with skipping on) blocks whose block-level SMA refutes p are
+// skipped too. Surviving blocks are decoded to typed vectors — through
+// the decoded-vector cache when one is attached — and narrowed by the
+// typed kernels.
 func verifyScan(r *logblock.Reader, p Pred, acc *bitutil.Bitset, opts ExecOptions, stats *ExecStats) error {
 	m := r.Meta
 	ci := m.Schema.ColumnIndex(p.Col)
@@ -220,35 +223,22 @@ func verifyScan(r *logblock.Reader, p Pred, acc *bitutil.Bitset, opts ExecOption
 	for bi := 0; bi < m.NumBlocks; bi++ {
 		start, end := m.BlockRowRange(bi)
 		// Candidate check: any accumulated bit in this block's range?
-		hasCandidate := false
-		for i := start; i < end; i++ {
-			if acc.Test(i) {
-				hasCandidate = true
-				break
-			}
-		}
-		if !hasCandidate {
+		if !acc.AnyInRange(start, end) {
 			stats.ColumnBlocksSkipped++
 			continue
 		}
 		// Block-level SMA (Figure 8, step 4).
 		if opts.DataSkipping && !p.Match && !cm.Blocks[bi].SMA.MayMatch(p.Op, p.Val) {
 			stats.ColumnBlocksSkipped++
-			for i := start; i < end; i++ {
-				acc.Clear(i)
-			}
+			acc.ClearRange(start, end)
 			continue
 		}
-		vals, _, err := r.BlockValues(ci, bi)
+		vec, err := r.BlockVector(ci, bi)
 		if err != nil {
 			return err
 		}
 		stats.ColumnBlocksScanned++
-		for i := start; i < end; i++ {
-			if acc.Test(i) && !p.EvalRow(vals[i-start]) {
-				acc.Clear(i)
-			}
-		}
+		EvalVector(p, vec, acc, start)
 	}
 	return nil
 }
@@ -288,33 +278,46 @@ func Materialize(r *logblock.Reader, matched *bitutil.Bitset, cols []int) ([]sch
 	}
 	m := r.Meta
 	out := make([]schema.Row, n)
+	cells := make([]schema.Value, n*len(cols)) // one backing array for all rows
 	for i := range out {
-		out[i] = make(schema.Row, len(cols))
+		out[i] = cells[i*len(cols) : (i+1)*len(cols) : (i+1)*len(cols)]
 	}
-	// Column-at-a-time: fetch each needed column block once.
+	// Column-at-a-time: fetch each needed column block once, walking
+	// matched rows by set-bit iteration rather than probing every bit.
 	for colPos, ci := range cols {
 		outIdx := 0
 		for bi := 0; bi < m.NumBlocks; bi++ {
 			start, end := m.BlockRowRange(bi)
-			has := false
-			for i := start; i < end; i++ {
-				if matched.Test(i) {
-					has = true
-					break
-				}
-			}
-			if !has {
+			if !matched.AnyInRange(start, end) {
 				continue
 			}
-			vals, _, err := r.BlockValues(ci, bi)
+			vec, err := r.BlockVector(ci, bi)
 			if err != nil {
 				return nil, err
 			}
-			for i := start; i < end; i++ {
-				if matched.Test(i) {
-					out[outIdx][colPos] = vals[i-start]
+			if vec.Type == schema.Int64 {
+				vals := vec.Ints.Vals
+				for i := matched.NextSet(start); i >= 0 && i < end; i = matched.NextSet(i + 1) {
+					out[outIdx][colPos] = schema.IntValue(vals[i-start])
 					outIdx++
 				}
+				continue
+			}
+			// String rows: dictionary blocks repeat arena extents, so
+			// consecutive equal extents share one materialized string.
+			sv := vec.Strs
+			var prevStart, prevLen uint32
+			var prevStr string
+			havePrev := false
+			for i := matched.NextSet(start); i >= 0 && i < end; i = matched.NextSet(i + 1) {
+				j := i - start
+				if !havePrev || sv.Starts[j] != prevStart || sv.Lens[j] != prevLen {
+					prevStart, prevLen = sv.Starts[j], sv.Lens[j]
+					prevStr = sv.Value(j)
+					havePrev = true
+				}
+				out[outIdx][colPos] = schema.StringValue(prevStr)
+				outIdx++
 			}
 		}
 	}

@@ -8,7 +8,9 @@
 package worker
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +48,9 @@ type Config struct {
 	ObjectCacheBytes int64
 	// PrefetchThreads sizes the parallel prefetch pool (paper: 32).
 	PrefetchThreads int
+	// QueryConcurrency bounds how many LogBlocks one query processes
+	// concurrently (0 = GOMAXPROCS).
+	QueryConcurrency int
 	// PrefetchDisabled forces serial block loading (Figure 16 baseline).
 	PrefetchDisabled bool
 	// BlockSize is the cache/prefetch file-block granularity.
@@ -150,6 +155,9 @@ func New(cfg Config, sch *schema.Schema, store oss.Store, catalog *meta.Manager)
 	}
 	if cfg.PrefetchThreads <= 0 {
 		cfg.PrefetchThreads = 32
+	}
+	if cfg.QueryConcurrency <= 0 {
+		cfg.QueryConcurrency = runtime.GOMAXPROCS(0)
 	}
 	if cfg.BlockSize <= 0 {
 		cfg.BlockSize = prefetch.DefaultBlockSize
@@ -418,16 +426,24 @@ func (w *Worker) fetcherFor(path string) logblock.Fetcher {
 }
 
 // openReader opens a LogBlock reader, consulting the object cache for
-// the parsed manifest+meta.
+// the parsed manifest+meta. Cached readers are charged their actual
+// retained bytes — and re-charged on every hit, since memoized index
+// segments grow a reader after insertion. Each reader shares the object
+// cache as its decoded-vector level, so match and materialize passes
+// (and repeated queries) decode each column block once.
 func (w *Worker) openReader(path string) (*logblock.Reader, error) {
-	if v, ok := w.objectCache.Get("reader:" + path); ok {
-		return v.(*logblock.Reader), nil
+	key := "reader:" + path
+	if v, ok := w.objectCache.Get(key); ok {
+		r := v.(*logblock.Reader)
+		w.objectCache.Put(key, r, r.RetainedBytes())
+		return r, nil
 	}
 	r, err := logblock.OpenReader(w.fetcherFor(path))
 	if err != nil {
 		return nil, err
 	}
-	w.objectCache.Put("reader:"+path, r, int64(r.Meta.RowCount/8+1024))
+	r.SetVectorCache(w.objectCache, path)
+	w.objectCache.Put(key, r, r.RetainedBytes())
 	return r, nil
 }
 
@@ -450,7 +466,7 @@ func (w *Worker) QueryBlocks(paths []string, q *query.Query, opts query.ExecOpti
 	var (
 		mu   sync.Mutex
 		wg   sync.WaitGroup
-		sem  = make(chan struct{}, 8)
+		sem  = make(chan struct{}, w.cfg.QueryConcurrency)
 		errs []error
 	)
 	for _, path := range paths {
@@ -471,8 +487,8 @@ func (w *Worker) QueryBlocks(paths []string, q *query.Query, opts query.ExecOpti
 		}()
 	}
 	wg.Wait()
-	if len(errs) > 0 {
-		return nil, errs[0]
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -506,14 +522,7 @@ func (w *Worker) warmMembers(r *logblock.Reader, matched *bitutil.Bitset, q *que
 	var wg sync.WaitGroup
 	for bi := 0; bi < r.Meta.NumBlocks; bi++ {
 		start, end := r.Meta.BlockRowRange(bi)
-		has := false
-		for i := start; i < end; i++ {
-			if matched.Test(i) {
-				has = true
-				break
-			}
-		}
-		if !has {
+		if !matched.AnyInRange(start, end) {
 			continue
 		}
 		for _, ci := range cols {

@@ -118,6 +118,9 @@ type Config struct {
 	// PrefetchThreads sizes each worker's parallel prefetch pool
 	// (0 = 32; negative disables prefetch: serial loading).
 	PrefetchThreads int
+	// QueryConcurrency bounds how many archived LogBlocks one query
+	// processes concurrently per worker (0 = GOMAXPROCS).
+	QueryConcurrency int
 	// CacheMemoryBytes sizes each worker's memory block cache
 	// (0 = 64 MiB).
 	CacheMemoryBytes int64
@@ -294,6 +297,7 @@ func (c *Cluster) addWorkerLocked() (*worker.Worker, error) {
 		DiskCacheDir:     cacheDir,
 		PrefetchThreads:  prefetchThreads,
 		PrefetchDisabled: disabled,
+		QueryConcurrency: c.cfg.QueryConcurrency,
 		ArchiveInterval:  c.cfg.ArchiveInterval,
 		// TenantIndex implements the paper's future-work real-time-store
 		// optimization: sealed segments index rows by tenant (~50×
