@@ -1,9 +1,12 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race bench bench-all clean
+.PHONY: check fmt vet build test race lint fuzz bench bench-all clean
 
-## check: the tier-1 gate — formatting, vet, build, race-enabled tests.
-check: fmt vet build race
+## check: the tier-1 gate — formatting, vet, build, race-enabled tests,
+## plus the repo's own invariant linter and a short fuzz pass over every
+## untrusted decode surface.
+check: fmt vet build race lint fuzz
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -22,6 +25,22 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## lint: the project-specific invariant analyzers (internal/lint).
+lint:
+	$(GO) run ./cmd/logstore-lint ./...
+
+## fuzz: run every fuzz target for FUZZTIME each, starting from the
+## checked-in seed corpora (regenerate those with `go run ./cmd/fuzzseed`).
+## Go allows one -fuzz target per invocation, hence the list.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzLZRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/compress/
+	$(GO) test -run '^$$' -fuzz '^FuzzSMADecode$$' -fuzztime $(FUZZTIME) ./internal/index/sma/
+	$(GO) test -run '^$$' -fuzz '^FuzzBKDOpen$$' -fuzztime $(FUZZTIME) ./internal/index/bkd/
+	$(GO) test -run '^$$' -fuzz '^FuzzInvertedOpen$$' -fuzztime $(FUZZTIME) ./internal/index/inverted/
+	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/wal/
+	$(GO) test -run '^$$' -fuzz '^FuzzOpenReader$$' -fuzztime $(FUZZTIME) ./internal/logblock/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeBlockData$$' -fuzztime $(FUZZTIME) ./internal/logblock/
 
 ## bench: the scan/materialize/ingest micro-benchmarks tracked across
 ## perf PRs; writes BENCH_scan.json (ns/op, B/op, allocs/op per bench).

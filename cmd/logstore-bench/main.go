@@ -54,12 +54,14 @@ func realMain() int {
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			f.Close()
+			_ = f.Close()
 			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: close: %v\n", err)
+			}
 		}()
 	}
 	if *memProfile != "" {
@@ -69,10 +71,12 @@ func realMain() int {
 				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
 				return
 			}
-			defer f.Close()
 			runtime.GC() // settle live heap before the snapshot
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: close: %v\n", err)
 			}
 		}()
 	}

@@ -305,7 +305,13 @@ func BitsetFromBytes(data []byte) (*Bitset, error) {
 	if len(data) < 8 {
 		return nil, fmt.Errorf("bitutil: bitset truncated: %d bytes", len(data))
 	}
-	n := int(Uint64(data[0:8]))
+	// Bound the bit count by the bytes present before any arithmetic on
+	// it: a 64-bit length can wrap int and overflow (n+63)/64 below.
+	n64 := Uint64(data[0:8])
+	if n64 > uint64(len(data)-8)*8 {
+		return nil, fmt.Errorf("bitutil: bitset length %d exceeds %d payload bytes", n64, len(data)-8)
+	}
+	n := int(n64)
 	want := (n + 63) / 64 * 8
 	if len(data) < 8+want {
 		return nil, fmt.Errorf("bitutil: bitset body truncated: want %d bytes, have %d", want, len(data)-8)

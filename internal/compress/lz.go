@@ -128,6 +128,13 @@ func lzDecompressAppend(dst, src []byte) ([]byte, error) {
 		return nil, fmt.Errorf("compress: lz: bad size header")
 	}
 	src = src[n:]
+	// One input byte yields at most 255 output bytes (a maximal length
+	// extension), so any size header beyond that is corrupt. Checking
+	// before the allocation keeps arbitrary input from provoking a huge
+	// make().
+	if size > uint64(len(src))*255 {
+		return nil, fmt.Errorf("compress: lz: size header %d exceeds max expansion of %d input bytes", size, len(src))
+	}
 	base := len(dst)
 	if cap(dst)-base < int(size) {
 		grown := make([]byte, base, base+int(size))

@@ -83,10 +83,13 @@ func New(cfg Config, topo *flow.Topology, tenants []flow.TenantID,
 		sched:     sched,
 		collector: flow.NewCollector(10 * time.Second),
 		catalog:   catalog,
-		store:     store,
-		scale:     scale,
-		stopc:     make(chan struct{}),
-		donec:     make(chan struct{}),
+		// Expiration deletes and catalog checkpoints go through the
+		// retry layer like every other production OSS path; an
+		// already-wrapped store keeps its wrapper.
+		store: oss.WithDefaultRetry(store),
+		scale: scale,
+		stopc: make(chan struct{}),
+		donec: make(chan struct{}),
 	}
 	return c, nil
 }

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"time"
-
 	"logstore/internal/compress"
 	"logstore/internal/logblock"
 	"logstore/internal/query"
@@ -56,7 +54,7 @@ func AblationBlockSize(s Scale) (*Table, error) {
 			return nil, err
 		}
 		var stats query.ExecStats
-		start := time.Now()
+		elapsed := stopwatch()
 		const iters = 20
 		for i := 0; i < iters; i++ {
 			stats = query.ExecStats{}
@@ -64,7 +62,7 @@ func AblationBlockSize(s Scale) (*Table, error) {
 				return nil, err
 			}
 		}
-		perMatch := float64(time.Since(start).Microseconds()) / iters
+		perMatch := float64(elapsed().Microseconds()) / iters
 		t.Rows = append(t.Rows, []float64{
 			float64(blockRows), float64(len(packed)), perMatch,
 			float64(stats.ColumnBlocksScanned), float64(stats.ColumnBlocksSkipped),
@@ -89,7 +87,7 @@ func AblationCodec(s Scale) (*Table, error) {
 		Header: []string{"codec", "packed_bytes", "build_ms", "scan_us"},
 	}
 	for i, codec := range []compress.Codec{compress.None, compress.LZ4, compress.Zstd} {
-		start := time.Now()
+		elapsed := stopwatch()
 		built, err := logblock.Build(schema.RequestLogSchema(), rows,
 			logblock.BuildOptions{Codec: codec})
 		if err != nil {
@@ -99,12 +97,12 @@ func AblationCodec(s Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		buildMS := float64(time.Since(start).Microseconds()) / 1000
+		buildMS := float64(elapsed().Microseconds()) / 1000
 		r, err := logblock.OpenReader(logblock.BytesFetcher(packed))
 		if err != nil {
 			return nil, err
 		}
-		start = time.Now()
+		elapsed = stopwatch()
 		const iters = 10
 		for j := 0; j < iters; j++ {
 			var stats query.ExecStats
@@ -114,7 +112,7 @@ func AblationCodec(s Scale) (*Table, error) {
 				return nil, err
 			}
 		}
-		scanUS := float64(time.Since(start).Microseconds()) / iters
+		scanUS := float64(elapsed().Microseconds()) / iters
 		t.Rows = append(t.Rows, []float64{float64(i), float64(len(packed)), buildMS, scanUS})
 	}
 	return t, nil
@@ -136,7 +134,7 @@ func AblationIndexes(s Scale) (*Table, error) {
 		Header: []string{"indexed", "packed_bytes", "build_ms", "match_us"},
 	}
 	for i, noIdx := range []bool{false, true} {
-		start := time.Now()
+		elapsed := stopwatch()
 		built, err := logblock.Build(schema.RequestLogSchema(), rows,
 			logblock.BuildOptions{NoIndexes: noIdx})
 		if err != nil {
@@ -146,12 +144,12 @@ func AblationIndexes(s Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		buildMS := float64(time.Since(start).Microseconds()) / 1000
+		buildMS := float64(elapsed().Microseconds()) / 1000
 		r, err := logblock.OpenReader(logblock.BytesFetcher(packed))
 		if err != nil {
 			return nil, err
 		}
-		start = time.Now()
+		elapsed = stopwatch()
 		const iters = 20
 		for j := 0; j < iters; j++ {
 			var stats query.ExecStats
@@ -159,7 +157,7 @@ func AblationIndexes(s Scale) (*Table, error) {
 				return nil, err
 			}
 		}
-		matchUS := float64(time.Since(start).Microseconds()) / iters
+		matchUS := float64(elapsed().Microseconds()) / iters
 		indexed := 1.0
 		if noIdx {
 			indexed = 0

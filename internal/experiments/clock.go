@@ -1,0 +1,25 @@
+package experiments
+
+import "time"
+
+// This file is the package's clock seam — the single place the
+// experiment harness touches the wall clock. Everything else in the
+// package is deterministic (fixed workload seeds, simulated stores),
+// and the wallclock analyzer enforces that no other file reads the
+// clock directly, so determinism regressions show up at lint time
+// rather than as flaky figures.
+
+// now is swappable in tests to pin the harness to a fake clock.
+var now = time.Now
+
+// stopwatch starts timing at the call and returns a function that
+// reports the elapsed duration. Figure-generation code uses it for
+// every latency measurement:
+//
+//	elapsed := stopwatch()
+//	... work ...
+//	latency := elapsed()
+func stopwatch() func() time.Duration {
+	start := now()
+	return func() time.Duration { return now().Sub(start) }
+}

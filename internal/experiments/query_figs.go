@@ -163,11 +163,11 @@ func (ds *queryDataset) runQuery(w *worker.Worker, spec workload.QuerySpec, opts
 	for i, b := range blocks {
 		paths[i] = b.Path
 	}
-	start := time.Now()
+	elapsed := stopwatch()
 	if _, err := w.QueryBlocks(paths, q, opts); err != nil {
 		return 0, err
 	}
-	return time.Since(start), nil
+	return elapsed(), nil
 }
 
 // queriesFor returns the query set of one tenant.

@@ -146,6 +146,17 @@ func Open(raw []byte) (*Tree, error) {
 	if nLeaves > entries+1 {
 		return nil, fmt.Errorf("bkd: implausible leaf count %d for %d entries", nLeaves, entries)
 	}
+	// Bound both counts by what the input could physically hold before
+	// allocating: every entry costs at least two bytes in the leaf
+	// region (one value varint, one row-id uvarint) and every leaf at
+	// least three bytes of routing (min, max, offset), so a count beyond
+	// the remaining input is corrupt, not merely large.
+	if entries > uint64(len(raw)) {
+		return nil, fmt.Errorf("bkd: entry count %d exceeds %d input bytes", entries, len(raw))
+	}
+	if nLeaves > uint64(len(raw)-off)/3+1 {
+		return nil, fmt.Errorf("bkd: leaf count %d exceeds %d remaining bytes", nLeaves, len(raw)-off)
+	}
 	t := &Tree{
 		entryCount: int(entries),
 		mins:       make([]int64, nLeaves),
@@ -166,6 +177,11 @@ func Open(raw []byte) (*Tree, error) {
 			return nil, fmt.Errorf("bkd: leaf %d offset: %w", i, err)
 		}
 		off += n
+		// Reject before the int conversion: a 64-bit offset can wrap to
+		// a negative int and slip past the range check below.
+		if o > uint64(len(raw)) {
+			return nil, fmt.Errorf("bkd: leaf %d offset %d beyond input (%d bytes)", i, o, len(raw))
+		}
 		t.offs[i] = int(o)
 	}
 	t.leaves = raw[off:]
@@ -211,6 +227,11 @@ func (t *Tree) scanLeaf(li int, lo, hi int64, bs *bitutil.Bitset) error {
 		return fmt.Errorf("bkd: leaf %d count: %w", li, err)
 	}
 	off := n
+	// Each entry is at least two bytes (value varint + row-id uvarint);
+	// bound the allocation by the bytes actually present.
+	if cnt > uint64(len(data)-off)/2 {
+		return fmt.Errorf("bkd: leaf %d count %d exceeds %d remaining bytes", li, cnt, len(data)-off)
+	}
 	vals := make([]int64, cnt)
 	cur := int64(0)
 	for i := uint64(0); i < cnt; i++ {

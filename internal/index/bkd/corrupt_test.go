@@ -1,0 +1,79 @@
+package bkd
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"logstore/internal/bitutil"
+)
+
+// TestOpenCorrupt feeds hand-built corrupt serializations to Open: every
+// case must produce an error, not a panic or an oversized allocation.
+func TestOpenCorrupt(t *testing.T) {
+	header := func(leafSize, entries, nLeaves uint64) []byte {
+		out := bitutil.AppendUvarint(nil, leafSize)
+		out = bitutil.AppendUvarint(out, entries)
+		return bitutil.AppendUvarint(out, nLeaves)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "leaf size"},
+		{"truncated header", bitutil.AppendUvarint(nil, 4), "entry count"},
+		{"entry count beyond input", header(4, 1<<40, 1), "exceeds"},
+		{"leaf count beyond entries", header(4, 3, 100), "implausible leaf count"},
+		// Entry count fits the input (padding supplies the bytes), but
+		// 11 leaves need 33 routing bytes and only 7 remain.
+		{"leaf count beyond routing bytes", append(header(4, 10, 11), make([]byte, 7)...), "exceeds"},
+		// Routing passes the count bound but the third field of leaf 0
+		// is a truncated uvarint (lone continuation byte).
+		{"truncated routing", append(header(4, 5, 2), 0x01, 0x01, 0x80), "leaf 0 offset"},
+		{
+			"offset beyond input",
+			func() []byte {
+				out := header(4, 2, 1)
+				out = bitutil.AppendVarint(out, 0)
+				out = bitutil.AppendVarint(out, 5)
+				return bitutil.AppendUvarint(out, 1<<40)
+			}(),
+			"beyond input",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Open(tc.data)
+			if err == nil {
+				t.Fatalf("Open accepted corrupt input")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestScanLeafCorrupt opens a structurally valid routing level whose
+// leaf region lies: the per-leaf entry count exceeds the bytes present,
+// so the allocation bound must reject it at query time.
+func TestScanLeafCorrupt(t *testing.T) {
+	out := bitutil.AppendUvarint(nil, 4) // leaf size
+	out = bitutil.AppendUvarint(out, 2)  // entries
+	out = bitutil.AppendUvarint(out, 1)  // one leaf
+	out = bitutil.AppendVarint(out, 0)   // min
+	out = bitutil.AppendVarint(out, 9)   // max
+	out = bitutil.AppendUvarint(out, 0)  // offset
+	// Leaf region: claims 200 entries, holds 2 bytes.
+	out = bitutil.AppendUvarint(out, 200)
+	out = append(out, 0x02, 0x04)
+
+	tr, err := Open(out)
+	if err != nil {
+		t.Fatalf("routing level should parse: %v", err)
+	}
+	if _, err := tr.Range(math.MinInt64, math.MaxInt64, 64); err == nil {
+		t.Fatal("Range accepted a leaf whose count exceeds its bytes")
+	}
+}

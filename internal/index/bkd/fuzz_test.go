@@ -1,0 +1,38 @@
+package bkd
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBKDOpen feeds arbitrary bytes to Open and runs range queries over
+// whatever parses: corrupt input must error (or produce a tree whose
+// queries error), never panic or allocate unbounded memory.
+func FuzzBKDOpen(f *testing.F) {
+	b := NewBuilder(4)
+	for i := 0; i < 40; i++ {
+		b.Add(uint32(i), int64(i%7)-3)
+	}
+	f.Add(b.Build())
+	f.Add(NewBuilder(0).Build())
+	single := NewBuilder(8)
+	single.Add(7, 42)
+	f.Add(single.Build())
+	f.Add([]byte{})
+	// Huge leaf count with no routing data behind it.
+	f.Add([]byte{0x04, 0x10, 0xff, 0xff, 0xff, 0xff, 0x0f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Open(data)
+		if err != nil {
+			return
+		}
+		if bs, err := tr.Range(math.MinInt64, math.MaxInt64, 1024); err == nil {
+			if got := bs.Count(); got > 1024 {
+				t.Fatalf("range produced %d rows in a 1024-bit set", got)
+			}
+		}
+		_, _ = tr.Range(-5, 5, 256)
+		_, _ = tr.Range(5, -5, 256) // inverted bounds: empty, not a panic
+	})
+}

@@ -1,0 +1,41 @@
+package inverted
+
+import (
+	"testing"
+)
+
+// FuzzInvertedOpen feeds arbitrary bytes to Open and runs the lookup
+// surface over whatever parses: corrupt dictionaries must surface as
+// errors, never as panics or runaway allocations.
+func FuzzInvertedOpen(f *testing.F) {
+	b := NewBuilder()
+	b.Add(0, "alpha beta")
+	b.Add(1, "beta gamma delta")
+	b.Add(2, "alpha")
+	f.Add(b.Build())
+	f.Add(NewBuilder().Build())
+	f.Add([]byte{})
+	// Term count far beyond the offset table actually present.
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0x00, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Open(data)
+		if err != nil {
+			return
+		}
+		_, _ = ix.Lookup("alpha")
+		_, _ = ix.Lookup("")
+		_, _ = ix.LookupPrefix("a", 64)
+		_, _ = ix.LookupAll([]string{"alpha", "beta"}, 64)
+		if n := ix.TermCount(); n > 0 {
+			// Walk the first and last dictionary entries the way the
+			// binary search would.
+			if _, off, err := ix.entryAt(0); err == nil {
+				_, _ = ix.decodePostings(off)
+			}
+			if _, off, err := ix.entryAt(n - 1); err == nil {
+				_, _ = ix.decodePostings(off)
+			}
+		}
+	})
+}

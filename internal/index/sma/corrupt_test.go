@@ -1,0 +1,41 @@
+package sma
+
+import (
+	"testing"
+
+	"logstore/internal/bitutil"
+	"logstore/internal/schema"
+)
+
+// TestDecodeCorrupt drives Decode with damaged serializations: every
+// case must error rather than panic or fabricate an aggregate.
+func TestDecodeCorrupt(t *testing.T) {
+	intKind := byte(schema.Int64)
+	strKind := byte(schema.String)
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad kind", []byte{99, 2, 2, 4}},
+		{"truncated count", []byte{intKind}},
+		{"negative count", append([]byte{intKind}, bitutil.AppendVarint(nil, -5)...)},
+		{"truncated min", append([]byte{intKind}, bitutil.AppendVarint(nil, 2)...)},
+		{"truncated max", func() []byte {
+			out := append([]byte{intKind}, bitutil.AppendVarint(nil, 2)...)
+			return append(out, bitutil.AppendVarint(nil, -10)...)
+		}()},
+		{"oversized string length", func() []byte {
+			out := append([]byte{strKind}, bitutil.AppendVarint(nil, 1)...)
+			out = append(out, bitutil.AppendUvarint(nil, 1000)...) // min: claims 1000 bytes
+			return append(out, 'x')
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := Decode(tc.data); err == nil {
+				t.Fatal("Decode accepted corrupt input")
+			}
+		})
+	}
+}

@@ -1,0 +1,46 @@
+package sma
+
+import (
+	"testing"
+
+	"logstore/internal/schema"
+)
+
+// FuzzSMADecode feeds arbitrary bytes to Decode: it must either error
+// or return an SMA whose re-encoding decodes to the same aggregate,
+// and whose MayMatch never panics.
+func FuzzSMADecode(f *testing.F) {
+	si := New(schema.Int64)
+	si.AddInt(5)
+	si.AddInt(-3)
+	f.Add(si.AppendTo(nil))
+	ss := New(schema.String)
+	ss.AddString("alpha")
+	ss.AddString("omega")
+	f.Add(ss.AppendTo(nil))
+	f.Add(New(schema.Int64).AppendTo(nil))
+	f.Add([]byte{})
+	f.Add([]byte{byte(schema.String), 0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re := s.AppendTo(nil)
+		s2, _, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded SMA: %v", err)
+		}
+		if *s2 != *s {
+			t.Fatalf("re-encode changed the aggregate: %+v != %+v", s2, s)
+		}
+		for _, op := range []Op{EQ, NE, LT, LE, GT, GE} {
+			_ = s.MayMatch(op, schema.IntValue(0))
+			_ = s.MayMatch(op, schema.StringValue("m"))
+		}
+	})
+}

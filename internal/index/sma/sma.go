@@ -216,6 +216,9 @@ func Decode(data []byte) (*SMA, int, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("sma: count: %w", err)
 	}
+	if count < 0 {
+		return nil, 0, fmt.Errorf("sma: negative count %d", count)
+	}
 	s.Count = count
 	off += n
 	if s.Kind == schema.Int64 {

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/types"
+)
+
+const logblockPkgSuffix = "internal/logblock"
+
+// BoxedValueAnalyzer keeps scan paths on the typed-vector API. PR 2
+// kept the boxed []schema.Value decode shim (Reader.BlockValues,
+// DecodeBlockData, Vector.Values) for compatibility, but every boxed
+// row costs an interface allocation per value — new callers outside
+// logblock itself must use BlockVector / DecodeBlockVector.
+var BoxedValueAnalyzer = &Analyzer{
+	Name: "boxedvalue",
+	Doc:  "no new callers of the boxed []schema.Value decode shim outside logblock",
+	Run:  runBoxedValue,
+}
+
+func runBoxedValue(p *Pass) {
+	if isPkgPath(p.Path, logblockPkgSuffix) {
+		return // the shim's home package may reference it freely
+	}
+	for id, obj := range p.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || !isPkgPath(fn.Pkg().Path(), logblockPkgSuffix) {
+			continue
+		}
+		if boxedShim(fn) {
+			p.Reportf(id.Pos(), "boxed decode shim %s allocates per value; use the typed vector API (BlockVector/DecodeBlockVector)", fn.Name())
+		}
+	}
+}
+
+// boxedShim reports whether fn is one of the boxed compatibility
+// entry points.
+func boxedShim(fn *types.Func) bool {
+	switch fn.Name() {
+	case "DecodeBlockData":
+		return true
+	case "BlockValues":
+		return recvNamed(fn) == "Reader"
+	case "Values":
+		return recvNamed(fn) == "Vector"
+	}
+	return false
+}
+
+// recvNamed returns the name of fn's receiver type, or "".
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return namedTypeName(sig.Recv().Type())
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errCloseMethods are the resource-release methods whose error returns
+// carry real failure information (lost writes, failed fsync, failed
+// upload) and must not be silently dropped.
+var errCloseMethods = map[string]bool{
+	"Close": true,
+	"Flush": true,
+	"Sync":  true,
+	"Put":   true,
+}
+
+// ErrCloseAnalyzer flags statements that discard the error result of
+// Close/Flush/Sync/Put. A dropped Sync error is a durability hole: the
+// WAL claims persistence the disk never acknowledged.
+//
+// Only bare expression statements are flagged. `defer f.Close()` is
+// tolerated (the idiomatic read-path cleanup where no action on error
+// is possible), and an explicit `_ = f.Close()` is an acknowledged
+// discard — the author has stated the error is intentionally ignored.
+var ErrCloseAnalyzer = &Analyzer{
+	Name: "errclose",
+	Doc:  "error results of Close/Flush/Sync/Put must be used or explicitly discarded",
+	Run:  runErrClose,
+}
+
+func runErrClose(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := errDroppingCall(p.Info, call); ok {
+				p.Reportf(call.Pos(), "%s error discarded; check it or assign to _", name)
+			}
+			return true
+		})
+	}
+}
+
+// errDroppingCall reports whether call is a Close/Flush/Sync/Put
+// method call returning exactly one value of type error.
+func errDroppingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !errCloseMethods[sel.Sel.Name] {
+		return "", false
+	}
+	f := calleeFunc(info, call)
+	if f == nil {
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false // plain functions: only methods release resources here
+	}
+	res := sig.Results()
+	if res.Len() != 1 || !isErrorType(res.At(0).Type()) {
+		return "", false
+	}
+	return f.Name(), true
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

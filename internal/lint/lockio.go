@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockIOAnalyzer forbids blocking operations while a mutex is held:
+// no object-store call (every oss method can carry simulated latency
+// or retry backoff), no channel send/receive/select, and no
+// time.Sleep between Lock()/RLock() and the matching Unlock on the
+// same mutex expression in a function body. Holding a hot lock across
+// simulated I/O is how a single slow tenant stalls every other
+// goroutine sharing the lock — the multi-tenant isolation failure the
+// paper's architecture exists to prevent.
+//
+// The analysis is intraprocedural and syntactic about control flow:
+// statements are walked in order; nested blocks (if/for/switch/select
+// bodies) are analyzed with a copy of the held set, so an early
+// `mu.Unlock(); return` branch does not poison the fall-through path.
+// `defer mu.Unlock()` marks the mutex held for the remainder of the
+// body. The oss package itself is exempt: it implements the simulated
+// latency the rule guards against.
+var LockIOAnalyzer = &Analyzer{
+	Name: "lockio",
+	Doc:  "no OSS call, channel op, or time.Sleep while holding a mutex",
+	Run:  runLockIO,
+}
+
+func runLockIO(p *Pass) {
+	if isPkgPath(p.Path, ossPkgSuffix) {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					walkLockBlock(p, n.Body, newHeldSet())
+				}
+				return false // function literals inside are walked by walkLockBlock
+			}
+			return true
+		})
+	}
+}
+
+// heldSet tracks mutexes currently held, keyed by the printed receiver
+// expression ("s.mu", "d.idx.mu", ...).
+type heldSet map[string]bool
+
+func newHeldSet() heldSet { return make(heldSet) }
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (h heldSet) any() bool { return len(h) > 0 }
+
+func (h heldSet) one() string {
+	for k := range h {
+		return k
+	}
+	return ""
+}
+
+// walkLockBlock analyzes the statements of one block in order,
+// mutating held as Lock/Unlock calls are seen.
+func walkLockBlock(p *Pass, block *ast.BlockStmt, held heldSet) {
+	for _, stmt := range block.List {
+		walkLockStmt(p, stmt, held)
+	}
+}
+
+func walkLockStmt(p *Pass, stmt ast.Stmt, held heldSet) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		walkLockExpr(p, s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock(): the mutex stays held for the rest of the
+		// body, so leave it in the set; any later blocking op is a
+		// finding. Other deferred calls are checked as expressions
+		// (they run at return time; a deferred OSS call under a
+		// deferred unlock is still serialized under the lock).
+		if mtx, kind := mutexCallTarget(p, s.Call); mtx != "" && (kind == "Unlock" || kind == "RUnlock") {
+			return
+		}
+		walkLockExpr(p, s.Call, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			walkLockExpr(p, e, held)
+		}
+		for _, e := range s.Lhs {
+			walkLockExpr(p, e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			walkLockExpr(p, e, held)
+		}
+	case *ast.SendStmt:
+		if held.any() {
+			p.Reportf(s.Arrow, "channel send while holding %s", held.one())
+		}
+		walkLockExpr(p, s.Value, held)
+	case *ast.SelectStmt:
+		if held.any() {
+			p.Reportf(s.Select, "select while holding %s", held.one())
+		}
+		for _, c := range s.Body.List {
+			if comm, ok := c.(*ast.CommClause); ok {
+				sub := held.clone()
+				for _, st := range comm.Body {
+					walkLockStmt(p, st, sub)
+				}
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs outside this lock scope.
+		walkFuncLitsIn(p, s.Call)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkLockStmt(p, s.Init, held)
+		}
+		walkLockExpr(p, s.Cond, held)
+		walkLockBlock(p, s.Body, held.clone())
+		if s.Else != nil {
+			walkLockStmt(p, s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			walkLockStmt(p, s.Init, held)
+		}
+		if s.Cond != nil {
+			walkLockExpr(p, s.Cond, held)
+		}
+		walkLockBlock(p, s.Body, held.clone())
+	case *ast.RangeStmt:
+		walkLockExpr(p, s.X, held)
+		walkLockBlock(p, s.Body, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			walkLockStmt(p, s.Init, held)
+		}
+		if s.Tag != nil {
+			walkLockExpr(p, s.Tag, held)
+		}
+		walkCaseBodies(p, s.Body, held)
+	case *ast.TypeSwitchStmt:
+		walkCaseBodies(p, s.Body, held)
+	case *ast.BlockStmt:
+		walkLockBlock(p, s, held)
+	case *ast.LabeledStmt:
+		walkLockStmt(p, s.Stmt, held)
+	}
+}
+
+func walkCaseBodies(p *Pass, body *ast.BlockStmt, held heldSet) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			sub := held.clone()
+			for _, st := range cc.Body {
+				walkLockStmt(p, st, sub)
+			}
+		}
+	}
+}
+
+// walkLockExpr inspects one expression for lock transitions and
+// blocking operations.
+func walkLockExpr(p *Pass, expr ast.Expr, held heldSet) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A function literal's body executes at call time, under
+			// its own lock discipline.
+			walkLockBlock(p, n.Body, newHeldSet())
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && held.any() {
+				p.Reportf(n.OpPos, "channel receive while holding %s", held.one())
+			}
+		case *ast.CallExpr:
+			if mtx, kind := mutexCallTarget(p, n); mtx != "" {
+				switch kind {
+				case "Lock", "RLock":
+					held[mtx] = true
+				case "Unlock", "RUnlock":
+					delete(held, mtx)
+				}
+				return false
+			}
+			if !held.any() {
+				return true
+			}
+			if isTimeSleep(p.Info, n) {
+				p.Reportf(n.Pos(), "time.Sleep while holding %s", held.one())
+			}
+			if recv := recvOfCall(p.Info, n); recv != nil && isPkgPath(namedTypePkgPath(recv), ossPkgSuffix) {
+				p.Reportf(n.Pos(), "%s.%s OSS call while holding %s",
+					namedTypeName(recv), calleeName(p.Info, n), held.one())
+			}
+		}
+		return true
+	})
+}
+
+// walkFuncLitsIn analyzes function literals nested in expr with a
+// fresh held set (used for `go f(...)` arguments).
+func walkFuncLitsIn(p *Pass, expr ast.Expr) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			walkLockBlock(p, lit.Body, newHeldSet())
+			return false
+		}
+		return true
+	})
+}
+
+// mutexCallTarget reports whether call is (R)Lock/(R)Unlock on a
+// sync.Mutex or sync.RWMutex, returning the printed receiver and the
+// method name.
+func mutexCallTarget(p *Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	// Resolve the declared method: this also catches mutexes embedded
+	// in a larger struct, where the selection's receiver is the outer
+	// type but the method itself belongs to sync.Mutex/RWMutex.
+	f := calleeFunc(p.Info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	switch namedTypeName(sig.Recv().Type()) {
+	case "Mutex", "RWMutex":
+		return types.ExprString(sel.X), sel.Sel.Name
+	}
+	return "", ""
+}
+
+func isTimeSleep(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == "time" && f.Name() == "Sleep"
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if f := calleeFunc(info, call); f != nil {
+		return f.Name()
+	}
+	return "?"
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// rawStoreProdPkgs are the production packages (by last import-path
+// segment) whose every OSS interaction must flow through
+// oss.RetryingStore's transient/permanent failure classifier. The
+// simulation and experiment layers construct raw stores on purpose.
+var rawStoreProdPkgs = map[string]bool{
+	"worker":     true,
+	"builder":    true,
+	"broker":     true,
+	"controller": true,
+}
+
+// rawStoreTypes are the concrete store implementations production code
+// must never invoke directly.
+var rawStoreTypes = map[string]bool{
+	"SimStore":   true,
+	"FlakyStore": true,
+	"DirStore":   true,
+}
+
+const ossPkgSuffix = "internal/oss"
+
+// RawStoreAnalyzer enforces PR 1's fault-tolerance invariant: in
+// production packages every object-store handle is retry-wrapped.
+//
+// Two rules:
+//
+//  1. No method call whose receiver is a concrete raw store
+//     (oss.SimStore / oss.FlakyStore / oss.DirStore).
+//  2. Every oss.Store value stored into a struct field must be
+//     "blessed": produced by oss.WithRetry / oss.WithDefaultRetry (or
+//     already a *oss.RetryingStore). A plain parameter flowing into a
+//     field is exactly the bug that bypassed the retry layer.
+//
+// Field reads (x.store) are trusted — they were checked at their own
+// construction site.
+var RawStoreAnalyzer = &Analyzer{
+	Name: "rawstore",
+	Doc:  "production packages must reach object storage only via oss.RetryingStore",
+	Run:  runRawStore,
+}
+
+func runRawStore(p *Pass) {
+	if !rawStoreProdPkgs[p.PkgBase()] {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkRawStoreCall(p, n)
+			case *ast.FuncDecl:
+				// The outer walk continues into the body (so rule 1 sees
+				// every call); rule 2's blessing map is per-function.
+				if n.Body != nil {
+					checkStoreFields(p, n.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkRawStoreCall flags rule 1: direct method calls on raw stores.
+func checkRawStoreCall(p *Pass, call *ast.CallExpr) {
+	recv := recvOfCall(p.Info, call)
+	if recv == nil {
+		return
+	}
+	if isPkgPath(namedTypePkgPath(recv), ossPkgSuffix) && rawStoreTypes[namedTypeName(recv)] {
+		p.Reportf(call.Pos(), "direct %s method call bypasses oss.RetryingStore", namedTypeName(recv))
+	}
+}
+
+// checkStoreFields flags rule 2 within one function body. It tracks,
+// per local identifier, whether the oss.Store it holds has been
+// blessed by a retry-wrapping call, then inspects every store of an
+// oss.Store value into a struct field (composite literal or field
+// assignment).
+func checkStoreFields(p *Pass, body *ast.BlockStmt) {
+	blessed := make(map[types.Object]bool)
+
+	isBlessedExpr := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		// A value whose static type is already *oss.RetryingStore.
+		if t := p.Info.TypeOf(e); t != nil &&
+			isPkgPath(namedTypePkgPath(t), ossPkgSuffix) && namedTypeName(t) == "RetryingStore" {
+			return true
+		}
+		switch e := e.(type) {
+		case *ast.CallExpr:
+			if f := calleeFunc(p.Info, e); f != nil && f.Pkg() != nil &&
+				isPkgPath(f.Pkg().Path(), ossPkgSuffix) &&
+				(f.Name() == "WithRetry" || f.Name() == "WithDefaultRetry") {
+				return true
+			}
+		case *ast.Ident:
+			return blessed[p.Info.Uses[e]]
+		case *ast.SelectorExpr:
+			// Field read: trusted, checked where the field was written.
+			return true
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break // multi-value RHS: nothing to track
+				}
+				rhs := n.Rhs[i]
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					if isStoreInterface(p.Info.TypeOf(l)) {
+						if obj := lhsObject(p.Info, l); obj != nil {
+							blessed[obj] = isBlessedExpr(rhs)
+						}
+					}
+				case *ast.SelectorExpr:
+					// x.field = store
+					if isStoreInterface(p.Info.TypeOf(l)) && !isBlessedExpr(rhs) {
+						p.Reportf(rhs.Pos(), "unwrapped oss.Store stored into field %s; wrap with oss.WithRetry", l.Sel.Name)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			st, ok := p.Info.TypeOf(n).Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			for _, el := range n.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || !isStoreInterface(fieldType(st, key.Name)) {
+					continue
+				}
+				if !isBlessedExpr(kv.Value) {
+					p.Reportf(kv.Value.Pos(), "unwrapped oss.Store stored into field %s; wrap with oss.WithRetry", key.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isStoreInterface reports whether t is the oss.Store interface.
+func isStoreInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return isPkgPath(namedTypePkgPath(t), ossPkgSuffix) && namedTypeName(t) == "Store"
+}
+
+func fieldType(st *types.Struct, name string) types.Type {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return st.Field(i).Type()
+		}
+	}
+	return nil
+}
+
+func lhsObject(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}

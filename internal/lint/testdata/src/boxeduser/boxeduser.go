@@ -1,0 +1,19 @@
+// Package boxeduser is a boxedvalue-analyzer fixture: code outside
+// internal/logblock must use the typed vector path, not the boxed
+// []schema.Value compatibility shim.
+package boxeduser
+
+import "logstore/internal/logblock"
+
+func bad(r *logblock.Reader, m *logblock.Meta, raw []byte) {
+	_, _, _ = r.BlockValues(0, 0)                    // want boxedvalue
+	_, _, _ = logblock.DecodeBlockData(m, 0, 0, raw) // want boxedvalue
+}
+
+func badVector(v *logblock.Vector) int {
+	return len(v.Values()) // want boxedvalue
+}
+
+func good(r *logblock.Reader) (*logblock.Vector, error) {
+	return r.BlockVector(0, 0)
+}

@@ -1,0 +1,33 @@
+// Package closecheck is an errclose-analyzer fixture: error returns
+// from Close/Flush/Sync/Put must not be silently dropped.
+package closecheck
+
+import "os"
+
+type sink struct{}
+
+func (sink) Close() error { return nil }
+func (sink) Flush() error { return nil }
+func (sink) Sync() error  { return nil }
+
+type quiet struct{}
+
+// Flush returning nothing is outside the rule.
+func (quiet) Flush() {}
+
+func bad(f *os.File, s sink) {
+	f.Close() // want errclose
+	s.Close() // want errclose
+	s.Flush() // want errclose
+	s.Sync()  // want errclose
+}
+
+func good(f *os.File, s sink, q quiet) error {
+	defer f.Close()
+	_ = s.Close()
+	q.Flush()
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return s.Sync()
+}

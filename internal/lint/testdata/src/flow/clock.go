@@ -1,0 +1,12 @@
+package flow
+
+import "time"
+
+// clock.go is the designated seam: the wallclock analyzer allows
+// time.Now / time.Sleep here and nowhere else in the package.
+
+var now = time.Now
+
+func nowMillis() int64 {
+	return now().UnixMilli()
+}

@@ -1,0 +1,29 @@
+// Package flow is a wallclock-analyzer fixture: the deterministic
+// scheduling packages must not read the wall clock outside clock.go.
+package flow
+
+import "time"
+
+// measure reads the wall clock three different ways.
+func measure() time.Duration {
+	start := time.Now()          // want wallclock
+	time.Sleep(time.Millisecond) // want wallclock
+	return time.Since(start)     // want wallclock
+}
+
+// waitFor uses timer constructors.
+func waitFor(d time.Duration) {
+	t := time.NewTimer(d) // want wallclock
+	<-t.C
+	<-time.After(d) // want wallclock
+}
+
+// durations is fine: time.Duration arithmetic never touches the clock.
+func durations(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// viaSeam goes through the package clock seam.
+func viaSeam() int64 {
+	return nowMillis()
+}

@@ -1,0 +1,85 @@
+// Package lockheld is a lockio-analyzer fixture: blocking operations
+// (OSS calls, channel ops, sleeps) must not run under a held mutex.
+package lockheld
+
+import (
+	"sync"
+	"time"
+
+	"logstore/internal/oss"
+)
+
+type svc struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	ch    chan int
+	store oss.Store
+}
+
+// badInline blocks in four ways between Lock and Unlock.
+func (s *svc) badInline() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want lockio
+	s.ch <- 1                    // want lockio
+	<-s.ch                       // want lockio
+	_ = s.store.Put("k", nil)    // want lockio
+	s.mu.Unlock()
+}
+
+// badDeferred holds the lock to function end via defer, so the OSS
+// call later in the body is under the lock.
+func (s *svc) badDeferred() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.Put("k", nil) // want lockio
+}
+
+// badRW applies to RWMutex read locks too.
+func (s *svc) badRW() {
+	s.rw.RLock()
+	time.Sleep(time.Millisecond) // want lockio
+	s.rw.RUnlock()
+}
+
+// badSelect blocks in a select while holding the lock.
+func (s *svc) badSelect() {
+	s.mu.Lock()
+	select { // want lockio
+	case v := <-s.ch:
+		_ = v
+	case s.ch <- 2:
+	}
+	s.mu.Unlock()
+}
+
+// goodEarlyUnlock releases on the early-return branch; the fall-through
+// operations run unlocked.
+func (s *svc) goodEarlyUnlock(skip bool) {
+	s.mu.Lock()
+	if skip {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	s.ch <- 1
+	_ = s.store.Put("k", nil)
+}
+
+// goodGoroutine hands the blocking work to a goroutine that does not
+// inherit the held set.
+func (s *svc) goodGoroutine() {
+	s.mu.Lock()
+	go func() {
+		time.Sleep(time.Millisecond)
+		s.ch <- 1
+	}()
+	s.mu.Unlock()
+}
+
+// goodCriticalSection only touches memory under the lock.
+func (s *svc) goodCriticalSection() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return cap(s.ch)
+}

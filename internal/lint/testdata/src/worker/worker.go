@@ -1,0 +1,66 @@
+// Package worker is a rawstore-analyzer fixture: its import path ends
+// in /worker, so the production-package rules apply.
+package worker
+
+import "logstore/internal/oss"
+
+type archiver struct {
+	store oss.Store
+	label string
+}
+
+// newBad stores a raw parameter into a Store field.
+func newBad(store oss.Store) *archiver {
+	return &archiver{store: store, label: "bad"} // want rawstore
+}
+
+// newBadAssign does the same through a field assignment.
+func newBadAssign(store oss.Store) *archiver {
+	a := &archiver{label: "bad-assign"}
+	a.store = store // want rawstore
+	return a
+}
+
+// newBadConstructed wraps nothing around a freshly built raw store.
+func newBadConstructed() *archiver {
+	return &archiver{store: oss.NewMemStore()} // want rawstore
+}
+
+// newGood wraps at the construction site.
+func newGood(store oss.Store) *archiver {
+	return &archiver{store: oss.WithDefaultRetry(store)}
+}
+
+// newGoodPolicy wraps with an explicit policy.
+func newGoodPolicy(store oss.Store) *archiver {
+	return &archiver{store: oss.WithRetry(store, oss.DefaultRetryPolicy())}
+}
+
+// newGoodReassigned blesses the parameter before storing it.
+func newGoodReassigned(store oss.Store) *archiver {
+	store = oss.WithDefaultRetry(store)
+	a := &archiver{label: "reassigned"}
+	a.store = store
+	return a
+}
+
+// rewrap re-stores an existing (already checked) field: trusted.
+func rewrap(a *archiver) *archiver {
+	return &archiver{store: a.store, label: "rewrap"}
+}
+
+// directSim calls a concrete raw store method.
+func directSim(s *oss.SimStore) error {
+	return s.Put("k", nil) // want rawstore
+}
+
+// directDir calls a concrete filesystem store method.
+func directDir(s *oss.DirStore) ([]byte, error) {
+	return s.Get("k") // want rawstore
+}
+
+// viaInterface calls through the Store interface: allowed — the wrap
+// happened where the field was populated.
+func viaInterface(a *archiver) error {
+	return a.store.Put("k", nil)
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// wallClockPkgs are the deterministic packages (by last import-path
+// segment): the max-flow scheduler, the experiment harness, and the
+// workload generator must produce identical output for identical
+// input, so they may not consult the wall clock directly.
+var wallClockPkgs = map[string]bool{
+	"flow":        true,
+	"experiments": true,
+	"workload":    true,
+}
+
+// wallClockFuncs are the time-package functions that read or depend on
+// the wall clock. Pure constructors (time.Date, time.Duration
+// arithmetic) are deterministic and stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"After":     true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// wallClockSeamFile is the one file per deterministic package allowed
+// to touch the time package: it defines the package's clock seam
+// (a swappable `now` variable / stopwatch helper), which tests and
+// simulations can pin.
+const wallClockSeamFile = "clock.go"
+
+// WallClockAnalyzer keeps deterministic packages off the wall clock
+// outside their clock seam.
+var WallClockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "deterministic packages (flow/experiments/workload) must not read the wall clock outside clock.go",
+	Run:  runWallClock,
+}
+
+func runWallClock(p *Pass) {
+	if !wallClockPkgs[p.PkgBase()] {
+		return
+	}
+	for id, obj := range p.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+			continue
+		}
+		if p.Filename(id.Pos()) == wallClockSeamFile {
+			continue
+		}
+		p.Reportf(id.Pos(), "time.%s in deterministic package %s; route through the clock seam (%s)",
+			fn.Name(), p.PkgBase(), wallClockSeamFile)
+	}
+}

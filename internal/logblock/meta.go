@@ -114,8 +114,17 @@ func DecodeMeta(data []byte) (*Meta, error) {
 	}
 	off += n
 
+	if rc > 1<<40 || br > 1<<32 {
+		return nil, fmt.Errorf("logblock: implausible geometry: %d rows in blocks of %d", rc, br)
+	}
 	if m.NumBlocks > m.RowCount+1 || m.NumBlocks > 1<<24 {
 		return nil, fmt.Errorf("logblock: implausible block count %d", m.NumBlocks)
+	}
+	// Every block header costs at least five bytes per column (row-count
+	// uvarint plus a minimal SMA), so a block count beyond the remaining
+	// input cannot be real — reject it before sizing Blocks slices by it.
+	if m.NumBlocks > len(data)-off {
+		return nil, fmt.Errorf("logblock: block count %d exceeds %d remaining meta bytes", m.NumBlocks, len(data)-off)
 	}
 	m.Columns = make([]ColumnMeta, len(sch.Columns))
 	for ci := range sch.Columns {
@@ -141,6 +150,9 @@ func DecodeMeta(data []byte) (*Meta, error) {
 				return nil, fmt.Errorf("logblock: column %d block %d SMA: %w", ci, bi, err)
 			}
 			off += n
+			if rc > uint64(m.BlockRows) {
+				return nil, fmt.Errorf("logblock: column %d block %d row count %d exceeds block size %d", ci, bi, rc, m.BlockRows)
+			}
 			cm.Blocks[bi] = BlockHeader{RowCount: int(rc), SMA: blockSMA}
 		}
 		m.Columns[ci] = cm

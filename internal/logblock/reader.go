@@ -49,6 +49,9 @@ func parseTarSize(hdr []byte) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("logblock: tar size field %q: %w", field, err)
 	}
+	if v < 0 {
+		return 0, fmt.Errorf("logblock: negative tar size %d", v)
+	}
 	return v, nil
 }
 

@@ -149,6 +149,12 @@ func DecodeBlockVector(m *Meta, col, bi int, raw []byte) (*Vector, error) {
 		return nil, fmt.Errorf("logblock: block %d/%d payload: %w", col, bi, derr)
 	}
 	rowCount := m.Columns[col].Blocks[bi].RowCount
+	// Every encoded row costs at least one payload byte, so a row count
+	// beyond the decompressed payload is corrupt; rejecting here keeps a
+	// hostile meta from driving the allocations below.
+	if rowCount > len(payload) {
+		return nil, fmt.Errorf("logblock: block %d/%d row count %d exceeds %d payload bytes", col, bi, rowCount, len(payload))
+	}
 	typ := m.Schema.Columns[col].Type
 
 	vec := &Vector{Type: typ, Valid: valid}
@@ -221,7 +227,7 @@ func decodeStringDictVector(payload []byte, rowCount int) (*StringVector, error)
 	if err != nil {
 		return nil, fmt.Errorf("dict size: %w", err)
 	}
-	if n > maxDictEntries {
+	if n > maxDictEntries || n > uint64(len(payload)) {
 		return nil, fmt.Errorf("implausible dict size %d", n)
 	}
 	dictStarts := make([]uint32, n)

@@ -97,7 +97,7 @@ func OpenWALStorage(dir string, opts wal.Options) (*WALStorage, error) {
 		return nil
 	})
 	if err != nil {
-		l.Close()
+		_ = l.Close() // surfacing the replay failure; close is best-effort
 		return nil, err
 	}
 	// A checkpointed WAL no longer starts at raft index 1. Full

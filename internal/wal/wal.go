@@ -100,7 +100,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		}
 		st, err := f.Stat()
 		if err != nil {
-			f.Close()
+			_ = f.Close() // surfacing the stat failure; close is best-effort
 			return nil, fmt.Errorf("wal: stat segment: %w", err)
 		}
 		l.seg = f
@@ -135,6 +135,12 @@ func (l *Log) scanSegment(base uint64, repair bool) (int, error) {
 	}
 	defer f.Close()
 
+	st, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("wal: stat segment: %w", err)
+	}
+	remain := st.Size()
+
 	var (
 		n     int
 		valid int64
@@ -150,8 +156,13 @@ func (l *Log) scanSegment(base uint64, repair bool) (int, error) {
 			}
 			return 0, fmt.Errorf("wal: read header: %w", err)
 		}
+		remain -= 8
 		length := binary.LittleEndian.Uint32(hdr[0:4])
 		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if int64(length) > remain {
+			break // length field beyond the file: torn or corrupt tail
+		}
+		remain -= int64(length)
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(f, payload); err != nil {
 			break // torn payload
@@ -272,14 +283,25 @@ func (l *Log) Replay(fn func(seq uint64, payload []byte) error) error {
 		if err != nil {
 			return fmt.Errorf("wal: open segment for replay: %w", err)
 		}
+		st, err := f.Stat()
+		if err != nil {
+			_ = f.Close() // read-only handle; the stat error wins
+			return fmt.Errorf("wal: stat segment for replay: %w", err)
+		}
+		remain := st.Size()
 		seq := base
 		hdr := make([]byte, 8)
 		for {
 			if _, err := io.ReadFull(f, hdr); err != nil {
 				break // EOF or torn tail: done with this segment
 			}
+			remain -= 8
 			length := binary.LittleEndian.Uint32(hdr[0:4])
 			crc := binary.LittleEndian.Uint32(hdr[4:8])
+			if int64(length) > remain {
+				break // length field beyond the file: torn or corrupt tail
+			}
+			remain -= int64(length)
 			payload := make([]byte, length)
 			if _, err := io.ReadFull(f, payload); err != nil {
 				break
@@ -288,12 +310,12 @@ func (l *Log) Replay(fn func(seq uint64, payload []byte) error) error {
 				break
 			}
 			if err := fn(seq, payload); err != nil {
-				f.Close()
+				_ = f.Close() // read-only handle; the replay error wins
 				return err
 			}
 			seq++
 		}
-		f.Close()
+		_ = f.Close() // read-only handle
 	}
 	return nil
 }
@@ -335,7 +357,7 @@ func (l *Log) Close() error {
 	l.closed = true
 	if l.seg != nil {
 		if err := l.seg.Sync(); err != nil {
-			l.seg.Close()
+			_ = l.seg.Close() // surfacing the sync failure; close is best-effort
 			return fmt.Errorf("wal: sync on close: %w", err)
 		}
 		return l.seg.Close()
