@@ -1,12 +1,13 @@
 GO ?= go
 FUZZTIME ?= 10s
+CHAOS_SEED ?= 2026
 
-.PHONY: check fmt vet build test race lint fuzz bench bench-all clean
+.PHONY: check fmt vet build test race lint fuzz chaos chaos-short bench bench-all clean
 
 ## check: the tier-1 gate — formatting, vet, build, race-enabled tests,
-## plus the repo's own invariant linter and a short fuzz pass over every
-## untrusted decode surface.
-check: fmt vet build race lint fuzz
+## plus the repo's own invariant linter, a short fuzz pass over every
+## untrusted decode surface, and the short node-failure chaos run.
+check: fmt vet build race lint fuzz chaos-short
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -41,6 +42,18 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/wal/
 	$(GO) test -run '^$$' -fuzz '^FuzzOpenReader$$' -fuzztime $(FUZZTIME) ./internal/logblock/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeBlockData$$' -fuzztime $(FUZZTIME) ./internal/logblock/
+
+## chaos: the node-failure and OSS-fault chaos gates at full size, with
+## per-run recovery stats in the -v output. The fault schedule is fixed
+## by CHAOS_SEED (override to explore other interleavings).
+chaos:
+	LOGSTORE_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -v \
+		-run 'TestChaosNodeFailures|TestChaosClusterEndToEnd' -timeout 300s .
+
+## chaos-short: the reduced node-failure run folded into `make check`.
+chaos-short:
+	LOGSTORE_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -short \
+		-run 'TestChaosNodeFailures' -timeout 120s .
 
 ## bench: the scan/materialize/ingest micro-benchmarks tracked across
 ## perf PRs; writes BENCH_scan.json (ns/op, B/op, allocs/op per bench).

@@ -8,13 +8,16 @@
 package broker
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
 	"sync"
+	"time"
 
 	"logstore/internal/flow"
 	"logstore/internal/meta"
+	"logstore/internal/metrics"
 	"logstore/internal/query"
 	"logstore/internal/schema"
 	"logstore/internal/worker"
@@ -39,6 +42,19 @@ type Config struct {
 	Exec query.ExecOptions
 	// Seed randomizes weighted routing.
 	Seed int64
+	// Health, when set, steers sub-queries and writes away from workers
+	// the cluster believes are down or draining, and enables failover:
+	// a failed block sub-query is retried on the next healthy worker.
+	// Nil treats every worker as healthy (single-node setups, tests).
+	Health *flow.HealthTracker
+	// HedgeDelay, when positive, re-dispatches a block sub-query to a
+	// second worker if the first has not answered within the delay (the
+	// paper's tail-latency hedge); first success wins. At most one
+	// hedge is launched per block set.
+	HedgeDelay time.Duration
+	// AppendRetryWindow bounds how long Append keeps re-routing a
+	// tenant batch around a down worker before giving up (0 = 5s).
+	AppendRetryWindow time.Duration
 }
 
 // Broker is one query-layer node.
@@ -49,6 +65,11 @@ type Broker struct {
 	collector *flow.Collector
 	catalog   *meta.Manager
 	pool      WorkerPool
+
+	// failover/hedge/reroute counters, exposed through Stats.
+	failovers metrics.Counter
+	hedges    metrics.Counter
+	reroutes  metrics.Counter
 }
 
 // New constructs a broker. The router must be subscribed to the
@@ -86,22 +107,58 @@ func (b *Broker) Append(rows []schema.Row) error {
 	}
 	sort.Slice(tenants, func(i, j int) bool { return tenants[i] < tenants[j] })
 	for _, tenant := range tenants {
-		batch := byTenant[tenant]
+		if err := b.appendTenant(tenant, byTenant[tenant]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendTenant routes one tenant's sub-batch and writes it, re-routing
+// around worker death: if the owning worker is down (health says dead,
+// or the write fails with ErrWorkerDown), the broker re-resolves the
+// route and retries until the cluster swaps in the recovered worker —
+// whose shard raft group elects its own leader — or the retry window
+// closes. Raft leadership moves inside the worker are handled below the
+// broker (worker.Append retries across elections itself).
+func (b *Broker) appendTenant(tenant int64, batch []schema.Row) error {
+	window := b.cfg.AppendRetryWindow
+	if window <= 0 {
+		window = 5 * time.Second
+	}
+	deadline := time.Now().Add(window)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
 		shard := b.router.Route(flow.TenantID(tenant))
 		wid, ok := b.pool.ShardOwner(shard)
 		if !ok {
 			return fmt.Errorf("broker: shard %d has no owner", shard)
 		}
 		w, ok := b.pool.Worker(wid)
-		if !ok {
-			return fmt.Errorf("broker: worker %d not found", wid)
+		switch {
+		case !ok:
+			lastErr = fmt.Errorf("broker: worker %d not found", wid)
+		case b.cfg.Health != nil && b.cfg.Health.State(wid) == flow.WorkerDead:
+			// Known-dead: don't burn the window inside a 5s worker-side
+			// leader wait; re-check after a beat.
+			lastErr = fmt.Errorf("broker: worker %d is down", wid)
+		default:
+			err := w.Append(shard, batch)
+			if err == nil {
+				b.collector.Record(flow.TenantID(tenant), shard, wid, int64(len(batch)))
+				return nil
+			}
+			if !errors.Is(err, worker.ErrWorkerDown) {
+				return fmt.Errorf("broker: append tenant %d to shard %d: %w", tenant, shard, err)
+			}
+			lastErr = err
 		}
-		if err := w.Append(shard, batch); err != nil {
-			return fmt.Errorf("broker: append tenant %d to shard %d: %w", tenant, shard, err)
+		if time.Now().After(deadline) {
+			return fmt.Errorf("broker: append tenant %d: no live route: %w", tenant, lastErr)
 		}
-		b.collector.Record(flow.TenantID(tenant), shard, wid, int64(len(batch)))
+		b.reroutes.Inc()
+		time.Sleep(5 * time.Millisecond)
 	}
-	return nil
 }
 
 // Query parses, plans, scatters, and merges one SQL query.
@@ -124,18 +181,20 @@ func (b *Broker) Execute(q *query.Query) (*query.Result, error) {
 	}
 
 	// Plan: archived blocks from the LogBlock map, partitioned across
-	// workers by path hash (stable → cache affinity); real-time
-	// sub-queries to every shard in old+new routing plans.
+	// the workers the health tracker considers able to serve reads, by
+	// path hash (stable → cache affinity); real-time sub-queries to
+	// every shard in old+new routing plans.
 	blocks := b.catalog.Prune(tenant, minTS, maxTS)
-	byWorker := make(map[flow.WorkerID][]string)
 	workerIDs := b.pool.WorkerIDs()
 	if len(workerIDs) == 0 {
 		return nil, fmt.Errorf("broker: no workers")
 	}
+	serving := b.servingWorkers(workerIDs)
+	byWorker := make(map[flow.WorkerID][]string)
 	for _, blk := range blocks {
 		h := fnv.New32a()
 		h.Write([]byte(blk.Path))
-		wid := workerIDs[int(h.Sum32())%len(workerIDs)]
+		wid := serving[int(h.Sum32())%len(serving)]
 		byWorker[wid] = append(byWorker[wid], blk.Path)
 	}
 	shards := b.router.ReadShards(flow.TenantID(tenant))
@@ -152,12 +211,7 @@ func (b *Broker) Execute(q *query.Query) (*query.Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w, ok := b.pool.Worker(wid)
-			if !ok {
-				results <- part{err: fmt.Errorf("broker: worker %d not found", wid)}
-				return
-			}
-			res, err := w.QueryBlocks(paths, q, b.cfg.Exec)
+			res, err := b.runBlockSet(paths, q, b.candidatesFrom(wid, serving))
 			results <- part{res: res, err: err}
 		}()
 	}
@@ -193,6 +247,114 @@ func (b *Broker) Execute(q *query.Query) (*query.Result, error) {
 		return nil, err
 	}
 	return final, nil
+}
+
+// servingWorkers filters out workers the health tracker believes are
+// dead. Draining workers still serve reads (they answer for the cached
+// blocks they hold; only new writes avoid them). If health marks every
+// worker dead the full list is returned — stale health must degrade to
+// optimistic routing, never to total unavailability.
+func (b *Broker) servingWorkers(all []flow.WorkerID) []flow.WorkerID {
+	if b.cfg.Health == nil {
+		return all
+	}
+	out := make([]flow.WorkerID, 0, len(all))
+	for _, wid := range all {
+		if b.cfg.Health.State(wid) != flow.WorkerDead {
+			out = append(out, wid)
+		}
+	}
+	if len(out) == 0 {
+		return all
+	}
+	return out
+}
+
+// candidatesFrom orders the serving workers for one block set: the
+// cache-affine preferred worker first, then the rest in rotation. Each
+// worker appears once — failover tries every live worker at most once.
+func (b *Broker) candidatesFrom(preferred flow.WorkerID, serving []flow.WorkerID) []flow.WorkerID {
+	start := 0
+	for i, wid := range serving {
+		if wid == preferred {
+			start = i
+			break
+		}
+	}
+	out := make([]flow.WorkerID, 0, len(serving))
+	for i := range serving {
+		out = append(out, serving[(start+i)%len(serving)])
+	}
+	return out
+}
+
+// runBlockSet executes one block sub-query with failover and (when
+// configured) a single hedged re-dispatch. Archived blocks are readable
+// by any worker — OSS is the shared source of truth — so a sub-query
+// that fails on one worker (crash mid-query, ErrWorkerDown) is retried
+// on the next candidate. With HedgeDelay set, a slow first worker gets
+// one speculative duplicate on the next candidate; first success wins
+// and stragglers drain into the buffered channel.
+func (b *Broker) runBlockSet(paths []string, q *query.Query, candidates []flow.WorkerID) (*query.Result, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("broker: no workers for block set")
+	}
+	type part struct {
+		res *query.Result
+		err error
+	}
+	resc := make(chan part, len(candidates))
+	attempt := func(wid flow.WorkerID) {
+		w, ok := b.pool.Worker(wid)
+		if !ok {
+			resc <- part{err: fmt.Errorf("broker: worker %d not found", wid)}
+			return
+		}
+		res, err := w.QueryBlocks(paths, q, b.cfg.Exec)
+		resc <- part{res: res, err: err}
+	}
+	launched := 1
+	go attempt(candidates[0])
+	var hedge <-chan time.Time
+	if b.cfg.HedgeDelay > 0 && len(candidates) > 1 {
+		t := time.NewTimer(b.cfg.HedgeDelay)
+		defer t.Stop()
+		hedge = t.C
+	}
+	outstanding := 1
+	var errs []error
+	for {
+		select {
+		case p := <-resc:
+			outstanding--
+			if p.err == nil {
+				return p.res, nil
+			}
+			errs = append(errs, p.err)
+			if launched < len(candidates) {
+				b.failovers.Inc()
+				go attempt(candidates[launched])
+				launched++
+				outstanding++
+			} else if outstanding == 0 {
+				return nil, errors.Join(errs...)
+			}
+		case <-hedge:
+			hedge = nil
+			if launched < len(candidates) {
+				b.hedges.Inc()
+				go attempt(candidates[launched])
+				launched++
+				outstanding++
+			}
+		}
+	}
+}
+
+// Stats reports the broker's failure-handling counters: block sub-query
+// failovers, hedged re-dispatches, and append re-route retries.
+func (b *Broker) Stats() (failovers, hedges, reroutes int64) {
+	return b.failovers.Value(), b.hedges.Value(), b.reroutes.Value()
 }
 
 // Router exposes the broker's router (the scheduler subscribes it).

@@ -140,8 +140,18 @@ func (b *Builder) Stats() (blocks, rows, dedupSkips int64) {
 // the content-derived keys deduplicate whatever had already committed.
 func (b *Builder) DrainStore(rs *rowstore.Store) (int, error) {
 	rs.Seal()
+	return b.DrainSegments(rs, rs.Sealed())
+}
+
+// DrainSegments archives an explicit list of already-sealed segments.
+// The worker uses it when the seal and the segment snapshot must happen
+// under the shard's apply lock (so the archived row set and the
+// recorded raft applied-index agree exactly — a segment auto-sealed by
+// a concurrent apply must wait for the next drain), while the slow OSS
+// uploads stay outside the lock.
+func (b *Builder) DrainSegments(rs *rowstore.Store, segs []*rowstore.Segment) (int, error) {
 	committed := 0
-	for _, seg := range rs.Sealed() {
+	for _, seg := range segs {
 		n, err := b.archiveSegment(seg)
 		committed += n
 		if err != nil {

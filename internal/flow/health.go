@@ -1,0 +1,140 @@
+package flow
+
+import "sync"
+
+// This file tracks worker liveness for the query/write routers. The
+// tracker is deliberately tick-driven: workers heartbeat through Beat,
+// and some outside loop (the cluster harness) calls Tick on its own
+// cadence. The tracker itself never reads a clock, so failover tests
+// drive it deterministically — miss thresholds are counted in ticks,
+// not wall time.
+
+// WorkerState is a worker's health as seen by the routing layer.
+type WorkerState int
+
+const (
+	// WorkerUp is serving normally.
+	WorkerUp WorkerState = iota
+	// WorkerDraining is alive but being decommissioned: it still
+	// answers queries for data it holds, but new writes avoid it.
+	WorkerDraining
+	// WorkerDead has missed enough heartbeats to be presumed crashed;
+	// brokers fail its sub-queries over to other workers.
+	WorkerDead
+)
+
+// String implements fmt.Stringer.
+func (s WorkerState) String() string {
+	switch s {
+	case WorkerUp:
+		return "up"
+	case WorkerDraining:
+		return "draining"
+	case WorkerDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// HealthTracker counts missed heartbeats per worker and derives an
+// up/draining/dead state. Safe for concurrent use.
+type HealthTracker struct {
+	mu        sync.Mutex
+	downAfter int
+	misses    map[WorkerID]int
+	draining  map[WorkerID]bool
+	dead      map[WorkerID]bool
+}
+
+// NewHealthTracker returns a tracker that declares a worker dead after
+// it misses downAfterMisses consecutive ticks (minimum 1; 0 selects 3).
+func NewHealthTracker(downAfterMisses int) *HealthTracker {
+	if downAfterMisses <= 0 {
+		downAfterMisses = 3
+	}
+	return &HealthTracker{
+		downAfter: downAfterMisses,
+		misses:    make(map[WorkerID]int),
+		draining:  make(map[WorkerID]bool),
+		dead:      make(map[WorkerID]bool),
+	}
+}
+
+// Beat records a heartbeat: the worker is (back) up unless draining. A
+// beat from a dead worker resurrects it — recovery needs no separate
+// call.
+func (h *HealthTracker) Beat(w WorkerID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.misses[w] = 0
+	delete(h.dead, w)
+}
+
+// SetDraining marks (or unmarks) a worker as draining. Draining is
+// orthogonal to liveness: a draining worker that stops beating still
+// becomes dead.
+func (h *HealthTracker) SetDraining(w WorkerID, draining bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if draining {
+		h.draining[w] = true
+		if _, ok := h.misses[w]; !ok {
+			h.misses[w] = 0
+		}
+	} else {
+		delete(h.draining, w)
+	}
+}
+
+// Tick advances the miss counter of every tracked worker; workers at or
+// past the threshold become dead. Returns the workers that died on this
+// tick (transitions only, for logging/metrics).
+func (h *HealthTracker) Tick() []WorkerID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var died []WorkerID
+	for w := range h.misses {
+		h.misses[w]++
+		if h.misses[w] >= h.downAfter && !h.dead[w] {
+			h.dead[w] = true
+			died = append(died, w)
+		}
+	}
+	return died
+}
+
+// State returns the worker's current health. Workers never seen are
+// reported up: routing stays optimistic until the first missed beats,
+// so bootstrap does not depend on heartbeat ordering.
+func (h *HealthTracker) State(w WorkerID) WorkerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stateLocked(w)
+}
+
+func (h *HealthTracker) stateLocked(w WorkerID) WorkerState {
+	if h.dead[w] {
+		return WorkerDead
+	}
+	if h.draining[w] {
+		return WorkerDraining
+	}
+	return WorkerUp
+}
+
+// Up reports whether the worker accepts new work (up, not draining).
+func (h *HealthTracker) Up(w WorkerID) bool { return h.State(w) == WorkerUp }
+
+// Snapshot returns the state of every tracked worker.
+func (h *HealthTracker) Snapshot() map[WorkerID]WorkerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[WorkerID]WorkerState, len(h.misses))
+	for w := range h.misses {
+		out[w] = h.stateLocked(w)
+	}
+	for w := range h.dead {
+		out[w] = WorkerDead
+	}
+	return out
+}

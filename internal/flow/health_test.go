@@ -1,0 +1,90 @@
+package flow
+
+import "testing"
+
+func TestHealthTrackerLifecycle(t *testing.T) {
+	h := NewHealthTracker(3)
+
+	// Never-seen workers are optimistically up.
+	if got := h.State(7); got != WorkerUp {
+		t.Fatalf("unseen worker state = %v", got)
+	}
+
+	h.Beat(1)
+	h.Beat(2)
+	if !h.Up(1) || !h.Up(2) {
+		t.Fatal("beaten workers should be up")
+	}
+
+	// Two misses: still up. Third: dead.
+	h.Tick()
+	h.Tick()
+	if got := h.State(1); got != WorkerUp {
+		t.Fatalf("state after 2 misses = %v", got)
+	}
+	died := h.Tick()
+	if got := h.State(1); got != WorkerDead {
+		t.Fatalf("state after 3 misses = %v", got)
+	}
+	if len(died) != 2 {
+		t.Fatalf("death transitions = %v", died)
+	}
+	// Transition reported once, not on every subsequent tick.
+	if again := h.Tick(); len(again) != 0 {
+		t.Fatalf("repeated death transitions = %v", again)
+	}
+
+	// A beat resurrects.
+	h.Beat(1)
+	if !h.Up(1) {
+		t.Fatal("beat should resurrect a dead worker")
+	}
+	if got := h.State(2); got != WorkerDead {
+		t.Fatal("worker 2 should stay dead")
+	}
+
+	snap := h.Snapshot()
+	if snap[1] != WorkerUp || snap[2] != WorkerDead {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestHealthTrackerDraining(t *testing.T) {
+	h := NewHealthTracker(2)
+	h.Beat(1)
+	h.SetDraining(1, true)
+	if h.Up(1) {
+		t.Fatal("draining worker reported up")
+	}
+	if got := h.State(1); got != WorkerDraining {
+		t.Fatalf("state = %v", got)
+	}
+	// Draining is orthogonal to liveness: missed beats still kill it.
+	h.Tick()
+	h.Tick()
+	if got := h.State(1); got != WorkerDead {
+		t.Fatalf("draining worker after misses = %v", got)
+	}
+	// Beat brings it back to draining, not up.
+	h.Beat(1)
+	if got := h.State(1); got != WorkerDraining {
+		t.Fatalf("resurrected draining worker = %v", got)
+	}
+	h.SetDraining(1, false)
+	if !h.Up(1) {
+		t.Fatal("undrained worker should be up")
+	}
+
+	// SetDraining on an unseen worker registers it for ticking.
+	h.SetDraining(9, true)
+	h.Tick()
+	h.Tick()
+	if got := h.State(9); got != WorkerDead {
+		t.Fatalf("drained-then-silent worker = %v", got)
+	}
+
+	if WorkerUp.String() != "up" || WorkerDraining.String() != "draining" ||
+		WorkerDead.String() != "dead" || WorkerState(99).String() != "unknown" {
+		t.Error("WorkerState strings wrong")
+	}
+}

@@ -5,13 +5,16 @@ import (
 )
 
 // wallClockPkgs are the deterministic packages (by last import-path
-// segment): the max-flow scheduler, the experiment harness, and the
-// workload generator must produce identical output for identical
-// input, so they may not consult the wall clock directly.
+// segment): the max-flow scheduler, the experiment harness, the
+// workload generator, and the raft core must produce identical output
+// for identical input, so they may not consult the wall clock directly.
+// (Raft's tick/election timers run behind the Clock seam so failover
+// tests can drive elections deterministically.)
 var wallClockPkgs = map[string]bool{
 	"flow":        true,
 	"experiments": true,
 	"workload":    true,
+	"raft":        true,
 }
 
 // wallClockFuncs are the time-package functions that read or depend on
@@ -38,7 +41,7 @@ const wallClockSeamFile = "clock.go"
 // outside their clock seam.
 var WallClockAnalyzer = &Analyzer{
 	Name: "wallclock",
-	Doc:  "deterministic packages (flow/experiments/workload) must not read the wall clock outside clock.go",
+	Doc:  "deterministic packages (flow/experiments/workload/raft) must not read the wall clock outside clock.go",
 	Run:  runWallClock,
 }
 

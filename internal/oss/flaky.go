@@ -27,14 +27,18 @@ var ErrThrottled = errors.New("oss: request throttled")
 type FlakyStore struct {
 	inner Store
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	failPut  float64
-	failGet  float64
-	failNPut int
-	failNGet int
-	latency  time.Duration
-	failures Stats
+	mu         sync.Mutex
+	rng        *rand.Rand
+	failPut    float64
+	failGet    float64
+	failList   float64
+	failDelete float64
+	failNPut   int
+	failNGet   int
+	failNList  int
+	failNDel   int
+	latency    time.Duration
+	failures   Stats
 }
 
 // NewFlakyStore wraps inner with independent failure probabilities for
@@ -75,6 +79,33 @@ func (s *FlakyStore) FailNextGets(n int) {
 	s.mu.Unlock()
 }
 
+// SetListDeleteRates adjusts the failure probabilities of List and
+// Delete independently of the read/write rates. Recovery's catalog
+// scans (List) and retention enforcement (Delete) fail transiently on
+// real object stores just like data-path reads do.
+func (s *FlakyStore) SetListDeleteRates(failList, failDelete float64) {
+	s.mu.Lock()
+	s.failList = failList
+	s.failDelete = failDelete
+	s.mu.Unlock()
+}
+
+// FailNextLists makes the next n List calls fail deterministically with
+// ErrThrottled, after which Lists heal.
+func (s *FlakyStore) FailNextLists(n int) {
+	s.mu.Lock()
+	s.failNList = n
+	s.mu.Unlock()
+}
+
+// FailNextDeletes makes the next n Delete calls fail deterministically
+// with ErrThrottled, after which Deletes heal.
+func (s *FlakyStore) FailNextDeletes(n int) {
+	s.mu.Lock()
+	s.failNDel = n
+	s.mu.Unlock()
+}
+
 // SetLatency injects a fixed delay before every operation (both the
 // failing and the succeeding ones), emulating a throttled store that is
 // slow as well as flaky.
@@ -86,7 +117,8 @@ func (s *FlakyStore) SetLatency(d time.Duration) {
 
 // InjectedFailures reports how many operations were failed.
 func (s *FlakyStore) InjectedFailures() int64 {
-	return s.failures.Puts.Value() + s.failures.Gets.Value()
+	return s.failures.Puts.Value() + s.failures.Gets.Value() +
+		s.failures.Lists.Value() + s.failures.Deletes.Value()
 }
 
 // rollPut decides one write's fate: the deterministic budget first,
@@ -134,6 +166,49 @@ func (s *FlakyStore) rollGet() error {
 	return err
 }
 
+// rollList decides a List call's fate: its own deterministic budget and
+// rate first, then the generic read roll (List counted as a read keeps
+// the pre-existing failGet semantics).
+func (s *FlakyStore) rollList() error {
+	s.mu.Lock()
+	var err error
+	switch {
+	case s.failNList > 0:
+		s.failNList--
+		err = ErrThrottled
+	case s.failList > 0 && s.rng.Float64() < s.failList:
+		err = ErrInjected
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.failures.Lists.Inc()
+		return err
+	}
+	return s.rollGet()
+}
+
+// rollDelete decides a Delete call's fate.
+func (s *FlakyStore) rollDelete() error {
+	s.mu.Lock()
+	latency := s.latency
+	var err error
+	switch {
+	case s.failNDel > 0:
+		s.failNDel--
+		err = ErrThrottled
+	case s.failDelete > 0 && s.rng.Float64() < s.failDelete:
+		err = ErrInjected
+	}
+	s.mu.Unlock()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if err != nil {
+		s.failures.Deletes.Inc()
+	}
+	return err
+}
+
 // Put implements Store.
 func (s *FlakyStore) Put(key string, data []byte) error {
 	if err := s.rollPut(); err != nil {
@@ -168,14 +243,16 @@ func (s *FlakyStore) Head(key string) (ObjectInfo, error) {
 
 // List implements Store.
 func (s *FlakyStore) List(prefix string) ([]ObjectInfo, error) {
-	if err := s.rollGet(); err != nil {
+	if err := s.rollList(); err != nil {
 		return nil, err
 	}
 	return s.inner.List(prefix)
 }
 
-// Delete implements Store (never injected: deletes are retried by the
-// expiration task anyway).
+// Delete implements Store.
 func (s *FlakyStore) Delete(key string) error {
+	if err := s.rollDelete(); err != nil {
+		return err
+	}
 	return s.inner.Delete(key)
 }

@@ -55,6 +55,55 @@ func TestFlakyStoreInjectsAtRate(t *testing.T) {
 	}
 }
 
+func TestFlakyStoreListDeleteInjection(t *testing.T) {
+	mem := NewMemStore()
+	if err := mem.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s := NewFlakyStore(mem, 0, 0, 3)
+
+	// Deterministic budgets fail exactly N calls, then heal.
+	s.FailNextLists(2)
+	for i := 0; i < 2; i++ {
+		if _, err := s.List(""); !errors.Is(err, ErrThrottled) {
+			t.Fatalf("budgeted List %d = %v, want ErrThrottled", i, err)
+		}
+	}
+	if _, err := s.List(""); err != nil {
+		t.Fatalf("healed List = %v", err)
+	}
+	s.FailNextDeletes(1)
+	if err := s.Delete("k"); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("budgeted Delete = %v, want ErrThrottled", err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatalf("healed Delete = %v", err)
+	}
+	if got := s.InjectedFailures(); got != 3 {
+		t.Fatalf("InjectedFailures = %d, want 3", got)
+	}
+
+	// Probabilistic rates apply independently of the Put/Get rates.
+	s.SetListDeleteRates(1.0, 1.0)
+	if _, err := s.List(""); !errors.Is(err, ErrInjected) {
+		t.Fatalf("always-fail List = %v", err)
+	}
+	if err := s.Delete("k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("always-fail Delete = %v", err)
+	}
+	s.SetListDeleteRates(0, 0)
+	if _, err := s.List(""); err != nil {
+		t.Fatalf("healed List = %v", err)
+	}
+
+	// Without a dedicated list fault, List still rolls as a read: the
+	// generic failGet rate keeps covering it.
+	s.SetRates(0, 1.0)
+	if _, err := s.List(""); !errors.Is(err, ErrInjected) {
+		t.Fatalf("List under failGet = %v, want ErrInjected", err)
+	}
+}
+
 func TestFlakyStoreHeal(t *testing.T) {
 	mem := NewMemStore()
 	s := NewFlakyStore(mem, 1.0, 1.0, 1)

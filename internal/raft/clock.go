@@ -1,0 +1,150 @@
+package raft
+
+import (
+	"sync"
+	"time"
+)
+
+// This file is the package's clock seam — the single place raft touches
+// the wall clock. The election and heartbeat machinery counts logical
+// ticks; where those ticks come from is behind the Clock interface, so
+// failover tests can drive a group with a ManualClock and observe
+// deterministic elections instead of tuning sleeps. The wallclock
+// analyzer enforces that no other file in the package reads the clock.
+
+// Clock supplies the node's timing sources: the run loop's tick stream
+// and one-shot deadlines for ProposeWithTimeout.
+type Clock interface {
+	// NewTicker returns a stream firing roughly every d.
+	NewTicker(d time.Duration) Ticker
+	// NewTimer returns a one-shot deadline firing once after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Ticker is a repeating tick source.
+type Ticker interface {
+	Chan() <-chan time.Time
+	Stop()
+}
+
+// Timer is a one-shot deadline.
+type Timer interface {
+	Chan() <-chan time.Time
+	Stop()
+}
+
+// WallClock is the production Clock: real time.Ticker / time.Timer.
+type WallClock struct{}
+
+// NewTicker implements Clock.
+func (WallClock) NewTicker(d time.Duration) Ticker { return wallTicker{time.NewTicker(d)} }
+
+// NewTimer implements Clock.
+func (WallClock) NewTimer(d time.Duration) Timer { return wallTimer{time.NewTimer(d)} }
+
+type wallTicker struct{ t *time.Ticker }
+
+func (w wallTicker) Chan() <-chan time.Time { return w.t.C }
+func (w wallTicker) Stop()                  { w.t.Stop() }
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) Chan() <-chan time.Time { return w.t.C }
+func (w wallTimer) Stop()                  { w.t.Stop() }
+
+// ManualClock is a deterministic Clock driven by Advance. Logical time
+// only moves when the test says so, making election timing a function
+// of the seeded randomized timeouts alone. Fire semantics match
+// time.Ticker: each waiter has a 1-buffered channel, and ticks that
+// find the buffer full are dropped (a slow consumer coalesces ticks —
+// it never deadlocks the clock).
+type ManualClock struct {
+	mu      sync.Mutex
+	step    time.Duration
+	elapsed time.Duration
+	timers  []*manualTimer
+}
+
+// NewManualClock returns a clock whose Advance moves logical time in
+// units of step (the duration a production deployment would assign one
+// tick; it only matters for converting requested durations to steps).
+func NewManualClock(step time.Duration) *ManualClock {
+	if step <= 0 {
+		step = time.Millisecond
+	}
+	return &ManualClock{step: step}
+}
+
+type manualTimer struct {
+	clock    *ManualClock
+	c        chan time.Time
+	deadline time.Duration // logical fire time
+	period   time.Duration // 0 = one-shot
+	stopped  bool
+}
+
+// NewTicker implements Clock.
+func (c *ManualClock) NewTicker(d time.Duration) Ticker { return c.register(d, d) }
+
+// NewTimer implements Clock.
+func (c *ManualClock) NewTimer(d time.Duration) Timer { return c.register(d, 0) }
+
+func (c *ManualClock) register(d, period time.Duration) *manualTimer {
+	if d <= 0 {
+		d = c.step
+	}
+	if period < 0 {
+		period = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &manualTimer{
+		clock:    c,
+		c:        make(chan time.Time, 1),
+		deadline: c.elapsed + d,
+		period:   period,
+	}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+// Advance moves logical time forward by n steps, firing every due
+// ticker and timer. It never blocks: delivery into a full waiter
+// channel is dropped, like a real time.Ticker.
+func (c *ManualClock) Advance(n int) {
+	for i := 0; i < n; i++ {
+		c.mu.Lock()
+		c.elapsed += c.step
+		var fire []chan time.Time
+		live := c.timers[:0]
+		for _, t := range c.timers {
+			for !t.stopped && t.deadline <= c.elapsed {
+				fire = append(fire, t.c)
+				if t.period <= 0 {
+					t.stopped = true
+				} else {
+					t.deadline += t.period
+				}
+			}
+			if !t.stopped {
+				live = append(live, t)
+			}
+		}
+		c.timers = append([]*manualTimer(nil), live...)
+		c.mu.Unlock()
+		for _, ch := range fire {
+			select {
+			case ch <- time.Time{}:
+			default:
+			}
+		}
+	}
+}
+
+func (t *manualTimer) Chan() <-chan time.Time { return t.c }
+
+func (t *manualTimer) Stop() {
+	t.clock.mu.Lock()
+	t.stopped = true
+	t.clock.mu.Unlock()
+}

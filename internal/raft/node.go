@@ -40,6 +40,11 @@ type Config struct {
 	ElectionTicks  int // 0 = 10
 	HeartbeatTicks int // 0 = 2
 
+	// Clock supplies tick and deadline timers (nil = WallClock).
+	// Failover tests pass a ManualClock so election timing is
+	// deterministic.
+	Clock Clock
+
 	// BFC limits (paper §4.2): sync_queue bounds pending proposals,
 	// apply_queue bounds committed-but-unapplied entries. Zero values
 	// select defaults (4096 items / 64 MiB each).
@@ -77,11 +82,18 @@ type Node struct {
 	applyWG sync.WaitGroup
 
 	// Protocol state (run goroutine only).
-	state        StateType
-	term         uint64
-	vote         NodeID
-	leader       NodeID
-	log          []Entry // log[i].Index == i+1
+	state  StateType
+	term   uint64
+	vote   NodeID
+	leader NodeID
+	// log holds entries above base: log[i].Index == base+i+1. base is
+	// the compaction point restored from Storage — entries at or below
+	// it were applied and archived before a checkpoint, so they are no
+	// longer replayable from this node (followers that far behind are
+	// fast-forwarded instead; see sendAppend).
+	log          []Entry
+	base         uint64
+	baseTerm     uint64
 	commitIndex  uint64
 	votesWon     map[NodeID]bool
 	nextIndex    map[NodeID]uint64
@@ -92,6 +104,12 @@ type Node struct {
 	elapsed       int
 	electionLimit int
 	rng           *rand.Rand
+
+	// Check-quorum state: a leader that cannot hear a majority for a
+	// full election timeout steps down, so a partitioned stale leader
+	// fails proposals with ErrNotLeader instead of holding them forever.
+	quorumElapsed int
+	recentActive  map[NodeID]bool
 
 	// Status snapshot, updated by the run goroutine.
 	statusMu sync.Mutex
@@ -151,6 +169,9 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Storage == nil {
 		cfg.Storage = NewMemoryStorage()
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = WallClock{}
+	}
 
 	n := &Node{
 		cfg:     cfg,
@@ -165,7 +186,12 @@ func NewNode(cfg Config) (*Node, error) {
 		rng:     rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID)*7919)),
 	}
 	n.term, n.vote = cfg.Storage.InitialState()
+	n.base, n.baseTerm = cfg.Storage.Base()
 	n.log = cfg.Storage.Entries()
+	// Everything at or below the base already committed (that is what
+	// authorized the compaction), so a restarted node must not report a
+	// commit index behind it.
+	n.commitIndex = n.base
 	n.resetElectionTimer()
 	n.updateStatus()
 
@@ -231,12 +257,12 @@ func (n *Node) ProposeWithTimeout(data []byte, d time.Duration) error {
 	case n.propNtf <- struct{}{}:
 	default:
 	}
-	timer := time.NewTimer(d)
+	timer := n.cfg.Clock.NewTimer(d)
 	defer timer.Stop()
 	select {
 	case err := <-p.done:
 		return err
-	case <-timer.C:
+	case <-timer.Chan():
 		return ErrProposalTimeout
 	case <-n.stopc:
 		return ErrStopped
@@ -273,7 +299,7 @@ func (n *Node) updateStatus() {
 
 func (n *Node) run() {
 	defer close(n.donec)
-	ticker := time.NewTicker(n.cfg.TickInterval)
+	ticker := n.cfg.Clock.NewTicker(n.cfg.TickInterval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -282,7 +308,7 @@ func (n *Node) run() {
 			return
 		case msg := <-n.inbox:
 			n.handle(msg)
-		case <-ticker.C:
+		case <-ticker.Chan():
 			n.tick()
 		case <-n.propNtf:
 			n.drainProposals()
@@ -327,6 +353,9 @@ func (n *Node) tick() {
 	n.elapsed++
 	switch n.state {
 	case StateLeader:
+		if n.checkQuorum() {
+			return // stepped down: the follower path runs next tick
+		}
 		if n.elapsed >= n.cfg.HeartbeatTicks {
 			n.elapsed = 0
 			n.broadcastAppend()
@@ -336,6 +365,32 @@ func (n *Node) tick() {
 			n.startElection()
 		}
 	}
+}
+
+// checkQuorum steps a leader down when it has not heard from a majority
+// for two election timeouts. Without this, a leader partitioned away
+// from its followers keeps accepting proposals that can never commit;
+// with it, those proposals fail fast with ErrNotLeader and the caller
+// retries against the new leader on the majority side. Returns true if
+// the node stepped down.
+func (n *Node) checkQuorum() bool {
+	n.quorumElapsed++
+	if n.quorumElapsed < 2*n.cfg.ElectionTicks {
+		return false
+	}
+	active := 0
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID || n.recentActive[p] {
+			active++
+		}
+	}
+	n.quorumElapsed = 0
+	n.recentActive = make(map[NodeID]bool)
+	if active*2 > len(n.cfg.Peers) {
+		return false
+	}
+	n.becomeFollower(n.term, None)
+	return true
 }
 
 func (n *Node) drainProposals() {
@@ -375,20 +430,23 @@ func (n *Node) drainProposals() {
 
 // ---- log helpers ----
 
-func (n *Node) lastIndex() uint64 { return uint64(len(n.log)) }
+func (n *Node) lastIndex() uint64 { return n.base + uint64(len(n.log)) }
 
 func (n *Node) termAt(index uint64) uint64 {
-	if index == 0 || index > uint64(len(n.log)) {
+	if index == n.base {
+		return n.baseTerm
+	}
+	if index < n.base || index > n.lastIndex() {
 		return 0
 	}
-	return n.log[index-1].Term
+	return n.log[index-n.base-1].Term
 }
 
 func (n *Node) entriesFrom(index uint64, limit int) []Entry {
-	if index > uint64(len(n.log)) {
+	if index <= n.base || index > n.lastIndex() {
 		return nil
 	}
-	out := n.log[index-1:]
+	out := n.log[index-n.base-1:]
 	if limit > 0 && len(out) > limit {
 		out = out[:limit]
 	}
@@ -403,9 +461,36 @@ func (n *Node) appendEntries(entries ...Entry) {
 }
 
 func (n *Node) truncateFrom(index uint64) {
-	if index <= uint64(len(n.log)) {
-		n.log = n.log[:index-1]
+	if index <= n.base {
+		return // the compacted prefix is committed; it cannot conflict
+	}
+	if index <= n.lastIndex() {
+		n.log = n.log[:index-n.base-1]
 		n.cfg.Storage.TruncateFrom(index)
+	}
+}
+
+// installBase fast-forwards a follower whose log cannot be repaired by
+// entry replay: the leader compacted everything at or below `index`
+// after archiving it, so the follower discards its log and adopts the
+// compaction point. The rows behind it are durable in object storage —
+// this is the snapshot-by-reference that replaces InstallSnapshot in a
+// system whose state machine archives to OSS.
+func (n *Node) installBase(index, term uint64) {
+	if index <= n.base {
+		return
+	}
+	if n.lastIndex() > n.base {
+		// Durably drop everything replayable: these entries are either
+		// duplicates of archived data or uncommitted divergence.
+		n.truncateFrom(n.base + 1)
+	}
+	n.log = nil
+	n.base = index
+	n.baseTerm = term
+	n.cfg.Storage.SetBase(index, term)
+	if n.commitIndex < index {
+		n.commitIndex = index
 	}
 }
 
@@ -455,6 +540,8 @@ func (n *Node) tallyVotes() bool {
 func (n *Node) becomeLeader() {
 	n.state = StateLeader
 	n.leader = n.cfg.ID
+	n.quorumElapsed = 0
+	n.recentActive = make(map[NodeID]bool)
 	n.nextIndex = make(map[NodeID]uint64, len(n.cfg.Peers))
 	n.matchIndex = make(map[NodeID]uint64, len(n.cfg.Peers))
 	for _, p := range n.cfg.Peers {
@@ -522,7 +609,23 @@ func (n *Node) sendAppend(to NodeID) {
 	if next == 0 {
 		next = 1
 	}
+	snapshot := false
+	if next <= n.base {
+		// The follower needs entries we compacted away. Fast-forward it
+		// to the base: everything behind it is archived in OSS, so the
+		// follower can adopt the compaction point instead of replaying.
+		next = n.base + 1
+		n.nextIndex[to] = next
+		snapshot = true
+	}
 	prev := next - 1
+	if prev == n.base && n.base > 0 {
+		// Mark base-anchored appends so a follower whose log diverges at
+		// the base installs it rather than rejecting forever (its
+		// conflicting entries are below our compaction horizon and can
+		// never be repaired entry-by-entry).
+		snapshot = true
+	}
 	n.cfg.Transport.Send(Message{
 		Type:         MsgAppendRequest,
 		From:         n.cfg.ID,
@@ -530,6 +633,7 @@ func (n *Node) sendAppend(to NodeID) {
 		Term:         n.term,
 		PrevLogIndex: prev,
 		PrevLogTerm:  n.termAt(prev),
+		Snapshot:     snapshot,
 		Entries:      n.entriesFrom(next, maxEntriesPerAppend),
 		LeaderCommit: n.commitIndex,
 	})
@@ -600,6 +704,14 @@ func (n *Node) handleAppendRequest(msg Message) {
 	n.becomeFollower(msg.Term, msg.From)
 	n.elapsed = 0
 
+	// A base-anchored append from the leader: if our log does not match
+	// at the leader's compaction point, entry-level repair is
+	// impossible (the leader no longer has those entries) — adopt the
+	// point and take the entries that follow it.
+	if msg.Snapshot && (msg.PrevLogIndex > n.lastIndex() || n.termAt(msg.PrevLogIndex) != msg.PrevLogTerm) {
+		n.installBase(msg.PrevLogIndex, msg.PrevLogTerm)
+	}
+
 	// Log-matching check.
 	if msg.PrevLogIndex > n.lastIndex() || n.termAt(msg.PrevLogIndex) != msg.PrevLogTerm {
 		n.cfg.Transport.Send(Message{
@@ -637,6 +749,7 @@ func (n *Node) handleAppendResponse(msg Message) {
 	if n.state != StateLeader || msg.Term != n.term {
 		return
 	}
+	n.recentActive[msg.From] = true
 	if msg.Success {
 		if msg.MatchIndex > n.matchIndex[msg.From] {
 			n.matchIndex[msg.From] = msg.MatchIndex
@@ -690,7 +803,7 @@ func (n *Node) advanceCommit(to uint64) {
 	from := n.commitIndex + 1
 	n.commitIndex = to
 	for idx := from; idx <= to; idx++ {
-		e := n.log[idx-1]
+		e := n.log[idx-n.base-1]
 		if len(e.Data) == 0 {
 			continue // leadership no-op: nothing to apply
 		}

@@ -11,7 +11,15 @@ type Storage interface {
 	InitialState() (term uint64, vote NodeID)
 	// SetState persists term and vote.
 	SetState(term uint64, vote NodeID)
-	// Entries returns the whole persisted log in index order.
+	// Base returns the log's compaction point: the index and term of
+	// the last entry dropped by compaction (0, 0 when the log is
+	// complete from index 1). Entries returns only entries above it.
+	Base() (index, term uint64)
+	// SetBase advances the compaction point (a follower adopting a
+	// leader's base after fast-forward). Entries at or below it are
+	// discarded; the caller has already truncated conflicting suffixes.
+	SetBase(index, term uint64)
+	// Entries returns the persisted log above Base, in index order.
 	Entries() []Entry
 	// Append appends entries (contiguous with the existing log).
 	Append(entries []Entry)
@@ -24,10 +32,12 @@ type Storage interface {
 // is needed; within the in-process simulation, node "crashes" keep the
 // MemoryStorage object alive to model stable storage.
 type MemoryStorage struct {
-	mu      sync.Mutex
-	term    uint64
-	vote    NodeID
-	entries []Entry
+	mu       sync.Mutex
+	term     uint64
+	vote     NodeID
+	base     uint64
+	baseTerm uint64
+	entries  []Entry
 }
 
 // NewMemoryStorage returns empty storage.
@@ -48,6 +58,30 @@ func (s *MemoryStorage) SetState(term uint64, vote NodeID) {
 	defer s.mu.Unlock()
 	s.term = term
 	s.vote = vote
+}
+
+// Base implements Storage.
+func (s *MemoryStorage) Base() (uint64, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base, s.baseTerm
+}
+
+// SetBase implements Storage.
+func (s *MemoryStorage) SetBase(index, term uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if index <= s.base {
+		return
+	}
+	s.base = index
+	s.baseTerm = term
+	for i := len(s.entries); i > 0; i-- {
+		if s.entries[i-1].Index <= index {
+			s.entries = append([]Entry(nil), s.entries[i:]...)
+			return
+		}
+	}
 }
 
 // Entries implements Storage.

@@ -12,6 +12,7 @@ type LocalNetwork struct {
 	mu       sync.Mutex
 	nodes    map[NodeID]*Node
 	cutoff   map[NodeID]bool
+	blocked  map[[2]NodeID]bool // one-way cuts: [from, to]
 	dropRate float64
 	rng      *rand.Rand
 }
@@ -19,9 +20,10 @@ type LocalNetwork struct {
 // NewLocalNetwork returns an empty network.
 func NewLocalNetwork(seed int64) *LocalNetwork {
 	return &LocalNetwork{
-		nodes:  make(map[NodeID]*Node),
-		cutoff: make(map[NodeID]bool),
-		rng:    rand.New(rand.NewSource(seed)),
+		nodes:   make(map[NodeID]*Node),
+		cutoff:  make(map[NodeID]bool),
+		blocked: make(map[[2]NodeID]bool),
+		rng:     rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -51,6 +53,33 @@ func (ln *LocalNetwork) Reconnect(id NodeID) {
 	ln.mu.Unlock()
 }
 
+// BlockLink cuts messages flowing from -> to only, leaving the reverse
+// direction intact: an asymmetric partition (a node that can send but
+// not hear, or vice versa), the classic trigger for one-sided election
+// storms.
+func (ln *LocalNetwork) BlockLink(from, to NodeID) {
+	ln.mu.Lock()
+	ln.blocked[[2]NodeID{from, to}] = true
+	ln.mu.Unlock()
+}
+
+// HealLink restores the from -> to direction.
+func (ln *LocalNetwork) HealLink(from, to NodeID) {
+	ln.mu.Lock()
+	delete(ln.blocked, [2]NodeID{from, to})
+	ln.mu.Unlock()
+}
+
+// HealAll clears every partition (full and one-way) and disables
+// message loss.
+func (ln *LocalNetwork) HealAll() {
+	ln.mu.Lock()
+	ln.cutoff = make(map[NodeID]bool)
+	ln.blocked = make(map[[2]NodeID]bool)
+	ln.dropRate = 0
+	ln.mu.Unlock()
+}
+
 // SetDropRate makes each message independently dropped with probability
 // p (0 disables loss).
 func (ln *LocalNetwork) SetDropRate(p float64) {
@@ -61,7 +90,7 @@ func (ln *LocalNetwork) SetDropRate(p float64) {
 
 func (ln *LocalNetwork) deliver(msg Message) {
 	ln.mu.Lock()
-	if ln.cutoff[msg.From] || ln.cutoff[msg.To] {
+	if ln.cutoff[msg.From] || ln.cutoff[msg.To] || ln.blocked[[2]NodeID{msg.From, msg.To}] {
 		ln.mu.Unlock()
 		return
 	}

@@ -128,6 +128,12 @@ type Message struct {
 	PrevLogTerm  uint64
 	Entries      []Entry
 	LeaderCommit uint64
+	// Snapshot marks an append anchored at the leader's compaction
+	// point: a follower that cannot log-match at PrevLogIndex must
+	// adopt (PrevLogIndex, PrevLogTerm) as its new base instead of
+	// rejecting — the entries behind it were archived and are no longer
+	// replayable (snapshot-by-reference; the data lives in OSS).
+	Snapshot bool
 
 	// Append response.
 	Success    bool

@@ -30,9 +30,18 @@ type WALStorage struct {
 	// entries is the live raft log (the WAL is the durable copy);
 	// seqs[i] is the WAL sequence number of entries[i]'s record, used
 	// by Checkpoint to recycle old segments safely.
-	entries []Entry
-	seqs    []uint64
-	applied uint64 // highest durable applied-mark
+	entries  []Entry
+	seqs     []uint64
+	applied  uint64 // highest durable applied-mark
+	markTerm uint64 // raft term of the entry at the applied mark
+	// base/baseTerm is the compaction point exposed to the node: after
+	// a restart from a checkpointed WAL the live log resumes at
+	// applied+1 and everything at or below `base` is only reachable
+	// through the archive. prefix retains replayed entries ≤ base so
+	// the worker can preload its duplicate-suppression set.
+	base     uint64
+	baseTerm uint64
+	prefix   []Entry
 }
 
 // Record type tags.
@@ -43,7 +52,9 @@ const (
 	// walTagApplied marks entries ≤ index as durably applied AND
 	// archived elsewhere: segment truncation is best-effort (whole
 	// segments only), so the marker is what guarantees restart-replay
-	// idempotence — state machines skip entries at or below it.
+	// idempotence — state machines skip entries at or below it. The
+	// record carries the entry's term too, so a restarted node can
+	// resume log-matching at the compaction point.
 	walTagApplied = 'A'
 )
 
@@ -84,12 +95,22 @@ func OpenWALStorage(dir string, opts wal.Options) (*WALStorage, error) {
 			}
 			s.truncateMem(idx)
 		case walTagApplied:
-			idx, _, err := bitutil.Uvarint(payload[1:])
+			idx, n, err := bitutil.Uvarint(payload[1:])
 			if err != nil {
 				return fmt.Errorf("raft: WAL applied mark: %w", err)
 			}
-			if idx > s.applied {
+			// The term rides along since this record doubles as the
+			// compaction point; tolerate its absence (older records).
+			term := uint64(0)
+			if len(payload) > 1+n {
+				term, _, err = bitutil.Uvarint(payload[1+n:])
+				if err != nil {
+					return fmt.Errorf("raft: WAL applied mark term: %w", err)
+				}
+			}
+			if idx >= s.applied {
 				s.applied = idx
+				s.markTerm = term
 			}
 		default:
 			return fmt.Errorf("raft: unknown WAL tag %q", payload[0])
@@ -100,17 +121,51 @@ func OpenWALStorage(dir string, opts wal.Options) (*WALStorage, error) {
 		_ = l.Close() // surfacing the replay failure; close is best-effort
 		return nil, err
 	}
-	// A checkpointed WAL no longer starts at raft index 1. Full
-	// snapshot/InstallSnapshot machinery is out of scope, so a node
-	// restarting from a compacted WAL rejoins with an empty log and is
-	// repaired by the leader; the rows behind the dropped prefix are
-	// already archived to object storage (that is what authorized the
-	// checkpoint), so no data is lost.
-	if len(s.entries) > 0 && s.entries[0].Index != 1 {
+	s.normalizeReplay()
+	return s, nil
+}
+
+// normalizeReplay rebases the replayed log at the applied mark. Entries
+// at or below the mark were applied AND archived before the last
+// checkpoint (that is what authorized writing the mark), so they move
+// to the read-only prefix; the live log resumes at mark+1 with
+// base = mark. A restarted node then reports the correct last index —
+// new entries continue from mark+1 rather than colliding with the
+// skip-below-the-mark apply rule, which used to silently drop freshly
+// acked rows after a checkpointed restart. Entries above the mark that
+// are not contiguous with it (a hole left by segment recycling) are
+// unusable and dropped; the leader re-replicates them.
+func (s *WALStorage) normalizeReplay() {
+	if s.applied == 0 {
+		// No checkpoint ever happened; a log not starting at 1 would be
+		// a corrupt replay — drop it and let the leader repair us.
+		if len(s.entries) > 0 && s.entries[0].Index != 1 {
+			s.entries = nil
+			s.seqs = nil
+		}
+		return
+	}
+	cut := 0
+	for cut < len(s.entries) && s.entries[cut].Index <= s.applied {
+		cut++
+	}
+	s.prefix = append([]Entry(nil), s.entries[:cut]...)
+	live := s.entries[cut:]
+	liveSeqs := s.seqs[cut:]
+	if len(live) > 0 && live[0].Index == s.applied+1 {
+		s.entries = append([]Entry(nil), live...)
+		s.seqs = append([]uint64(nil), liveSeqs...)
+	} else {
 		s.entries = nil
 		s.seqs = nil
 	}
-	return s, nil
+	s.base = s.applied
+	s.baseTerm = s.markTerm
+	if s.baseTerm == 0 && len(s.prefix) > 0 && s.prefix[len(s.prefix)-1].Index == s.base {
+		// Mark written before terms rode along: recover it from the
+		// replayed entry itself.
+		s.baseTerm = s.prefix[len(s.prefix)-1].Term
+	}
 }
 
 func (s *WALStorage) truncateMem(index uint64) {
@@ -198,13 +253,16 @@ func (s *WALStorage) Checkpoint(appliedIndex uint64) error {
 	s.mu.Lock()
 	// Durable applied mark first: restart replay skips entries ≤ it.
 	if appliedIndex > s.applied {
+		term := s.termOfLocked(appliedIndex)
 		mark := []byte{walTagApplied}
 		mark = bitutil.AppendUvarint(mark, appliedIndex)
+		mark = bitutil.AppendUvarint(mark, term)
 		if _, err := s.log.Append(mark); err != nil {
 			s.mu.Unlock()
 			return err
 		}
 		s.applied = appliedIndex
+		s.markTerm = term
 	}
 	// Durable state must outlive the truncated prefix: rewrite it into
 	// the active segment.
@@ -227,6 +285,25 @@ func (s *WALStorage) Checkpoint(appliedIndex uint64) error {
 	return s.log.TruncateFront(keep)
 }
 
+// termOfLocked resolves the raft term of the entry at index, consulting
+// the live log, the replayed prefix, and the current base.
+func (s *WALStorage) termOfLocked(index uint64) uint64 {
+	if index == s.base {
+		return s.baseTerm
+	}
+	for i := len(s.entries); i > 0; i-- {
+		if e := s.entries[i-1]; e.Index == index {
+			return e.Term
+		}
+	}
+	for i := len(s.prefix); i > 0; i-- {
+		if e := s.prefix[i-1]; e.Index == index {
+			return e.Term
+		}
+	}
+	return 0
+}
+
 // AppliedMark returns the highest durable applied mark: entries at or
 // below it were applied AND their effects archived before the last
 // checkpoint, so a restarted state machine must skip them.
@@ -234,6 +311,57 @@ func (s *WALStorage) AppliedMark() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.applied
+}
+
+// Base implements Storage.
+func (s *WALStorage) Base() (uint64, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base, s.baseTerm
+}
+
+// SetBase implements Storage: a follower adopting the leader's
+// compaction point after a fast-forward. Durability reuses the
+// applied-mark record — on the next restart normalizeReplay rebuilds
+// the same base from it. The node has already truncated any
+// conflicting live entries.
+func (s *WALStorage) SetBase(index, term uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if index <= s.base {
+		return
+	}
+	rec := []byte{walTagApplied}
+	rec = bitutil.AppendUvarint(rec, index)
+	rec = bitutil.AppendUvarint(rec, term)
+	_, _ = s.log.Append(rec)
+	if index >= s.applied {
+		s.applied = index
+		s.markTerm = term
+	}
+	s.base = index
+	s.baseTerm = term
+	cut := 0
+	for cut < len(s.entries) && s.entries[cut].Index <= index {
+		cut++
+	}
+	if cut > 0 {
+		s.prefix = append(s.prefix, s.entries[:cut]...)
+		s.entries = append([]Entry(nil), s.entries[cut:]...)
+		s.seqs = append([]uint64(nil), s.seqs[cut:]...)
+	}
+}
+
+// ReplayedPrefix returns the replayed entries at or below the base (the
+// compacted prefix still physically present in the WAL). The worker
+// preloads its duplicate-suppression set from them so a batch retried
+// across a restart is not applied twice.
+func (s *WALStorage) ReplayedPrefix() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, len(s.prefix))
+	copy(out, s.prefix)
+	return out
 }
 
 // Close closes the underlying WAL.

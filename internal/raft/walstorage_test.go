@@ -108,16 +108,28 @@ func TestWALStorageCheckpoint(t *testing.T) {
 	}
 	s.Close()
 
-	// After restart the compacted prefix is gone; entries not starting
-	// at index 1 are discarded (leader repair re-fills), but term/vote
-	// survive — that is the safety-critical part.
+	// After restart the log is rebased at the applied mark: the live
+	// log resumes at 91 above base (90, term 4), term/vote survive, and
+	// the compacted prefix stays readable for dedup preloading. (The
+	// old behaviour — discarding the whole log — made a restarted
+	// group restart indexing at 1 underneath the durable applied mark,
+	// silently dropping freshly acked rows.)
 	s2 := openWS(t, dir)
 	defer s2.Close()
 	if term, vote := s2.InitialState(); term != 4 || vote != 0 {
 		t.Fatalf("state after checkpoint restart = %d, %d", term, vote)
 	}
-	if got := s2.Entries(); len(got) != 0 {
-		t.Fatalf("compacted-prefix log should be discarded, got %d entries", len(got))
+	if base, baseTerm := s2.Base(); base != 90 || baseTerm != 4 {
+		t.Fatalf("base after checkpoint restart = (%d, %d), want (90, 4)", base, baseTerm)
+	}
+	got := s2.Entries()
+	if len(got) != 10 || got[0].Index != 91 || got[9].Index != 100 {
+		t.Fatalf("live log after restart = %d entries (first %v)", len(got), got)
+	}
+	for _, e := range s2.ReplayedPrefix() {
+		if e.Index > 90 {
+			t.Fatalf("prefix holds live entry %d", e.Index)
+		}
 	}
 }
 

@@ -8,8 +8,10 @@
 package worker
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -76,6 +78,11 @@ type Config struct {
 	RaftApplyQueueBytes int64
 }
 
+// ErrWorkerDown is returned by Append and the query entry points after
+// Crash or Close: the caller (broker) should fail over to another
+// worker or retry after recovery.
+var ErrWorkerDown = errors.New("worker: node is down")
+
 // Shard is one table shard hosted by a worker: a raft group whose state
 // machine is the shard's row store.
 type Shard struct {
@@ -87,32 +94,126 @@ type Shard struct {
 	// once those rows are archived to object storage, the raft WAL can
 	// be checkpointed up to it.
 	applied atomic.Uint64
+	// applyMu serializes state-machine applies against the archive
+	// seal: a drain seals rs and snapshots `applied` under it, so the
+	// archived row set and the checkpointed raft index agree exactly.
+	applyMu sync.Mutex
+	// seen suppresses duplicate batches: every proposal carries a
+	// content-derived batch id, so a batch retried after an ambiguous
+	// outcome (leader died between commit and ack) applies once even if
+	// it commits at two raft indexes.
+	seen *dedupSet
 }
 
-// raftGroup bundles the in-process replica set of one shard.
+// raftGroup bundles the in-process replica set of one shard. Individual
+// nodes can be killed and restarted in place (leader-failover chaos);
+// mu guards the node slots against Append/kill/restart races.
 type raftGroup struct {
-	nodes    []*raft.Node
-	net      *raft.LocalNetwork
-	storages []*raft.WALStorage // non-nil entries are closed on stop
+	net   *raft.LocalNetwork
+	peers []raft.NodeID
+
+	mu      sync.Mutex
+	nodes   []*raft.Node
+	stores  []raft.Storage     // per-replica durable state, reused on restart
+	wals    []*raft.WALStorage // non-nil entries are closed on group stop
+	stopcs  []chan struct{}    // per-replica aux goroutine stops (standby release loop)
+	stopped []bool
 }
 
 func (g *raftGroup) leader() *raft.Node {
-	for _, n := range g.nodes {
-		if n.IsLeader() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, n := range g.nodes {
+		if !g.stopped[i] && n.IsLeader() {
 			return n
 		}
 	}
 	return nil
 }
 
-func (g *raftGroup) stop() {
-	for _, n := range g.nodes {
-		n.Stop()
+// kill stops one replica's node (and its aux goroutine), leaving its
+// storage open for an in-place restart.
+func (g *raftGroup) kill(id raft.NodeID) error {
+	i := int(id)
+	g.mu.Lock()
+	if i < 0 || i >= len(g.nodes) {
+		g.mu.Unlock()
+		return fmt.Errorf("worker: no raft replica %d", id)
 	}
-	for _, s := range g.storages {
+	if g.stopped[i] {
+		g.mu.Unlock()
+		return nil
+	}
+	g.stopped[i] = true
+	n := g.nodes[i]
+	stopc := g.stopcs[i]
+	g.stopcs[i] = nil
+	g.mu.Unlock()
+	if stopc != nil {
+		close(stopc)
+	}
+	n.Stop()
+	return nil
+}
+
+func (g *raftGroup) stop() {
+	g.mu.Lock()
+	nodes := append([]*raft.Node(nil), g.nodes...)
+	stopped := append([]bool(nil), g.stopped...)
+	stopcs := append([]chan struct{}(nil), g.stopcs...)
+	for i := range g.stopped {
+		g.stopped[i] = true
+		g.stopcs[i] = nil
+	}
+	wals := append([]*raft.WALStorage(nil), g.wals...)
+	g.mu.Unlock()
+	for i, n := range nodes {
+		if n != nil && !stopped[i] {
+			if stopcs[i] != nil {
+				close(stopcs[i])
+			}
+			n.Stop()
+		}
+	}
+	for _, s := range wals {
 		if s != nil {
 			_ = s.Close()
 		}
+	}
+}
+
+// dedupSet is a bounded FIFO set of batch ids (per shard). The bound
+// only limits how far back a retry can arrive and still be suppressed;
+// 64k batches is far beyond any client retry horizon.
+type dedupSet struct {
+	mu    sync.Mutex
+	seen  map[uint64]struct{}
+	order []uint64
+	limit int
+}
+
+func newDedupSet(limit int) *dedupSet {
+	return &dedupSet{seen: make(map[uint64]struct{}), limit: limit}
+}
+
+func (d *dedupSet) Contains(id uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.seen[id]
+	return ok
+}
+
+func (d *dedupSet) Add(id uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.seen[id]; ok {
+		return
+	}
+	d.seen[id] = struct{}{}
+	d.order = append(d.order, id)
+	if len(d.order) > d.limit {
+		delete(d.seen, d.order[0])
+		d.order = d.order[1:]
 	}
 }
 
@@ -137,6 +238,12 @@ type Worker struct {
 	archiveStop chan struct{}
 	archiveDone chan struct{}
 	stopOnce    sync.Once
+	// down flips when the worker crashes or closes; entry points fail
+	// fast with ErrWorkerDown instead of hanging on stopped raft groups.
+	down atomic.Bool
+	// crashed marks an ungraceful stop: the final archive drain is
+	// skipped, abandoning in-memory rows exactly as SIGKILL would.
+	crashed atomic.Bool
 }
 
 // New constructs a worker.
@@ -207,7 +314,12 @@ func (w *Worker) ID() flow.WorkerID { return w.cfg.ID }
 // Capacity returns the advertised write capacity.
 func (w *Worker) Capacity() float64 { return w.cfg.CapacityPerSec }
 
-// AddShard creates (and hosts) a shard. Idempotent per id.
+// AddShard creates (and hosts) a shard. Idempotent per id. With a
+// DataDir configured, every replica recovers its raft state from its
+// persisted WAL: the serving replica resumes above the durable applied
+// mark (those rows are already archived to OSS) with its
+// duplicate-suppression set preloaded from the replayed log, so batches
+// retried across the restart still apply exactly once.
 func (w *Worker) AddShard(id flow.ShardID) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -218,18 +330,22 @@ func (w *Worker) AddShard(id flow.ShardID) error {
 	if err != nil {
 		return err
 	}
-	sh := &Shard{ID: id, rs: rs, sch: w.sch}
+	sh := &Shard{ID: id, rs: rs, sch: w.sch, seen: newDedupSet(1 << 16)}
 	if w.cfg.Replicas > 1 {
 		g := &raftGroup{net: raft.NewLocalNetwork(int64(id))}
-		peers := make([]raft.NodeID, w.cfg.Replicas)
-		for i := range peers {
-			peers[i] = raft.NodeID(i)
+		g.peers = make([]raft.NodeID, w.cfg.Replicas)
+		for i := range g.peers {
+			g.peers[i] = raft.NodeID(i)
 		}
-		for i := range peers {
+		g.nodes = make([]*raft.Node, w.cfg.Replicas)
+		g.stores = make([]raft.Storage, w.cfg.Replicas)
+		g.wals = make([]*raft.WALStorage, w.cfg.Replicas)
+		g.stopcs = make([]chan struct{}, w.cfg.Replicas)
+		g.stopped = make([]bool, w.cfg.Replicas)
+		for i := range g.peers {
 			// Durable storage is opened before the state machine so the
 			// recovered applied-mark can gate replay (idempotence across
 			// restarts: entries ≤ mark were already archived to OSS).
-			var ws *raft.WALStorage
 			if w.cfg.DataDir != "" {
 				dir := fmt.Sprintf("%s/shard-%d/replica-%d", w.cfg.DataDir, id, i)
 				opened, err := raft.OpenWALStorage(dir, wal.Options{})
@@ -237,93 +353,140 @@ func (w *Worker) AddShard(id flow.ShardID) error {
 					g.stop()
 					return fmt.Errorf("worker %d shard %d: open WAL: %w", w.cfg.ID, id, err)
 				}
-				g.storages = append(g.storages, opened)
-				ws = opened
+				g.wals[i] = opened
+				g.stores[i] = opened
 			}
-			var sm raft.StateMachine
-			if i == 0 {
-				appliedMark := uint64(0)
-				if ws != nil {
-					appliedMark = ws.AppliedMark()
-					sh.applied.Store(appliedMark)
+			if i == 0 && g.wals[0] != nil {
+				ws := g.wals[0]
+				mark := ws.AppliedMark()
+				sh.applied.Store(mark)
+				// Preload dedup with every replayed batch at or below the
+				// mark: those batches are durable in the archive, so a
+				// client retry arriving after recovery must be a no-op.
+				// Entries above the mark are NOT preloaded — they replay
+				// through the state machine and register there.
+				for _, e := range ws.ReplayedPrefix() {
+					if bid, _, err := DecodeProposal(e.Data); err == nil {
+						sh.seen.Add(bid)
+					}
 				}
-				// Replica 0's state machine is the serving row store.
-				sm = raft.StateMachineFunc(func(index uint64, data []byte) {
-					if index <= appliedMark {
-						return // replayed entry already archived pre-restart
+				for _, e := range ws.Entries() {
+					if e.Index > mark {
+						break
 					}
-					rows, err := DecodeBatch(data)
-					if err != nil {
-						return
+					if bid, _, err := DecodeProposal(e.Data); err == nil {
+						sh.seen.Add(bid)
 					}
-					if rs.Append(rows...) == nil {
-						sh.applied.Store(index)
-					}
-				})
-			} else if i == 1 {
-				// Replica 1 keeps a full row store too (paper: two of
-				// three replicas have a complete row-store). It is a
-				// standby; queries are served from replica 0.
-				standby, err := rowstore.New(w.sch, w.cfg.RowStore)
-				if err != nil {
-					return err
 				}
-				sm = raft.StateMachineFunc(func(_ uint64, data []byte) {
-					rows, err := DecodeBatch(data)
-					if err != nil {
-						return
-					}
-					_ = standby.Append(rows...)
-				})
-				// Standby archive: release sealed standby segments so
-				// the replica's memory stays bounded.
-				go func() {
-					t := time.NewTicker(w.cfg.ArchiveInterval)
-					defer t.Stop()
-					for {
-						select {
-						case <-w.archiveStop:
-							return
-						case <-t.C:
-							standby.Seal()
-							for _, seg := range standby.Sealed() {
-								standby.Release(seg.ID)
-							}
-						}
-					}
-				}()
-			} else {
-				// Remaining replica stores WAL only (the raft log is
-				// the WAL); it applies nothing.
-				sm = raft.StateMachineFunc(func(uint64, []byte) {})
 			}
-			var storage raft.Storage
-			if ws != nil {
-				storage = ws
-			}
-			node, err := raft.NewNode(raft.Config{
-				ID:              raft.NodeID(i),
-				Peers:           peers,
-				Transport:       g.net.Transport(raft.NodeID(i)),
-				SM:              sm,
-				Storage:         storage,
-				TickInterval:    w.cfg.RaftTick,
-				SyncQueueItems:  w.cfg.RaftSyncQueueItems,
-				SyncQueueBytes:  w.cfg.RaftSyncQueueBytes,
-				ApplyQueueItems: w.cfg.RaftApplyQueueItems,
-				ApplyQueueBytes: w.cfg.RaftApplyQueueBytes,
-				Seed:            int64(id)*101 + int64(i),
-			})
-			if err != nil {
+			if err := w.startReplicaLocked(sh, g, raft.NodeID(i)); err != nil {
 				g.stop()
 				return err
 			}
-			g.net.Register(node)
-			g.nodes = append(g.nodes, node)
 		}
 		sh.group = g
 	}
 	w.shards[id] = sh
+	return nil
+}
+
+// startReplicaLocked builds replica i's state machine and raft node and
+// installs it into the group slot (fresh start or in-place restart after
+// kill). Caller holds w.mu or is constructing the shard.
+func (w *Worker) startReplicaLocked(sh *Shard, g *raftGroup, id raft.NodeID) error {
+	i := int(id)
+	var sm raft.StateMachine
+	var stopc chan struct{}
+	switch {
+	case i == 0:
+		// Replica 0's state machine is the serving row store.
+		sm = raft.StateMachineFunc(func(index uint64, data []byte) {
+			sh.applyMu.Lock()
+			defer sh.applyMu.Unlock()
+			if index <= sh.applied.Load() {
+				return // replayed entry already applied (and archived)
+			}
+			bid, rows, err := DecodeProposal(data)
+			if err != nil {
+				return
+			}
+			if sh.seen.Contains(bid) {
+				// A retried batch that already applied at an earlier
+				// index: consume the entry without duplicating rows.
+				sh.applied.Store(index)
+				return
+			}
+			if sh.rs.Append(rows...) == nil {
+				sh.seen.Add(bid)
+				sh.applied.Store(index)
+			}
+		})
+	case i == 1:
+		// Replica 1 keeps a full row store too (paper: two of three
+		// replicas have a complete row-store). It is a standby; queries
+		// are served from replica 0.
+		standby, err := rowstore.New(w.sch, w.cfg.RowStore)
+		if err != nil {
+			return err
+		}
+		sm = raft.StateMachineFunc(func(_ uint64, data []byte) {
+			_, rows, err := DecodeProposal(data)
+			if err != nil {
+				return
+			}
+			_ = standby.Append(rows...)
+		})
+		// Standby archive: release sealed standby segments so the
+		// replica's memory stays bounded. The loop dies with the node
+		// (kill/restart) or the worker, whichever first.
+		stopc = make(chan struct{})
+		go func() {
+			t := time.NewTicker(w.cfg.ArchiveInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-w.archiveStop:
+					return
+				case <-stopc:
+					return
+				case <-t.C:
+					standby.Seal()
+					for _, seg := range standby.Sealed() {
+						standby.Release(seg.ID)
+					}
+				}
+			}
+		}()
+	default:
+		// Remaining replica stores WAL only (the raft log is the WAL);
+		// it applies nothing.
+		sm = raft.StateMachineFunc(func(uint64, []byte) {})
+	}
+	node, err := raft.NewNode(raft.Config{
+		ID:              id,
+		Peers:           g.peers,
+		Transport:       g.net.Transport(id),
+		SM:              sm,
+		Storage:         g.stores[i], // nil on first memory-backed start
+		TickInterval:    w.cfg.RaftTick,
+		SyncQueueItems:  w.cfg.RaftSyncQueueItems,
+		SyncQueueBytes:  w.cfg.RaftSyncQueueBytes,
+		ApplyQueueItems: w.cfg.RaftApplyQueueItems,
+		ApplyQueueBytes: w.cfg.RaftApplyQueueBytes,
+		Seed:            int64(sh.ID)*101 + int64(i),
+	})
+	if err != nil {
+		if stopc != nil {
+			close(stopc)
+		}
+		return err
+	}
+	g.mu.Lock()
+	g.nodes[i] = node
+	g.stopcs[i] = stopc
+	g.stopped[i] = false
+	g.mu.Unlock()
+	g.net.Register(node)
 	return nil
 }
 
@@ -353,6 +516,9 @@ func (w *Worker) shard(id flow.ShardID) (*Shard, error) {
 // the client is acked only after quorum persistence; backpressure from
 // the Raft queues surfaces as raft.ErrBackpressure.
 func (w *Worker) Append(shardID flow.ShardID, rows []schema.Row) error {
+	if w.down.Load() {
+		return ErrWorkerDown
+	}
 	sh, err := w.shard(shardID)
 	if err != nil {
 		return err
@@ -365,16 +531,24 @@ func (w *Worker) Append(shardID flow.ShardID, rows []schema.Row) error {
 	if sh.group == nil {
 		return sh.rs.Append(rows...)
 	}
-	data := EncodeBatch(rows)
-	// Find the leader; retry briefly across elections.
+	// The proposal envelope carries a content-derived batch id so the
+	// state machine can suppress the same batch committing twice (a
+	// retry after an ambiguous leader death).
+	data := EncodeProposal(EncodeBatch(rows))
+	// Find the leader; retry briefly across elections and replica kills.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
+		if w.down.Load() {
+			return ErrWorkerDown
+		}
 		if leader := sh.group.leader(); leader != nil {
 			err := leader.Propose(data)
 			if err == nil || err == raft.ErrBackpressure {
 				return err
 			}
-			// ErrNotLeader: leadership moved mid-propose; retry.
+			// ErrNotLeader: leadership moved mid-propose.
+			// ErrStopped: the leader was killed under us (chaos).
+			// Both retry against whoever gets elected next.
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("worker %d shard %d: no raft leader", w.cfg.ID, shardID)
@@ -386,6 +560,9 @@ func (w *Worker) Append(shardID flow.ShardID, rows []schema.Row) error {
 // QueryRealtime executes a query over one shard's row store (the
 // not-yet-archived data), returning a partial result.
 func (w *Worker) QueryRealtime(shardID flow.ShardID, q *query.Query) (*query.Result, error) {
+	if w.down.Load() {
+		return nil, ErrWorkerDown
+	}
 	sh, err := w.shard(shardID)
 	if err != nil {
 		return nil, err
@@ -454,6 +631,9 @@ func (w *Worker) openReader(path string) (*logblock.Reader, error) {
 // Figure 10 pipeline); without one, loading is fully serial — the
 // "without parallel prefetch" baseline.
 func (w *Worker) QueryBlocks(paths []string, q *query.Query, opts query.ExecOptions) (*query.Result, error) {
+	if w.down.Load() {
+		return nil, ErrWorkerDown
+	}
 	res := query.NewResult(q, w.sch)
 	if w.pool == nil || len(paths) <= 1 {
 		for _, path := range paths {
@@ -563,7 +743,9 @@ func (w *Worker) archiveLoop() {
 	for {
 		select {
 		case <-w.archiveStop:
-			w.drainAll()
+			if !w.crashed.Load() {
+				w.drainAll() // graceful close: archive what's resident
+			}
 			return
 		case <-ticker.C:
 			w.drainAll()
@@ -589,13 +771,29 @@ func (w *Worker) drainAll() {
 // checkpoints the shard's raft WALs up to the index applied before the
 // seal: those rows are now durable on object storage, so their WAL
 // segments can be recycled (the paper's checkpointing task).
+//
+// The seal and the applied-index snapshot happen together under the
+// shard's apply lock, so the archived row set and the checkpointed raft
+// index agree exactly: every row applied at index ≤ appliedBefore is in
+// the sealed segments, and no row from a later apply is. A segment
+// auto-sealed by a concurrent apply after the snapshot waits for the
+// next drain. Without this, a crash after the checkpoint could drop
+// acked rows (index marked applied but rows not archived) or replay
+// them twice (rows archived but produced by entries above the mark).
 func (w *Worker) drainShardLocked(sh *Shard) error {
+	sh.applyMu.Lock()
 	appliedBefore := sh.applied.Load()
-	if _, err := w.bld.DrainStore(sh.rs); err != nil {
+	sh.rs.Seal()
+	segs := sh.rs.Sealed()
+	sh.applyMu.Unlock()
+	if _, err := w.bld.DrainSegments(sh.rs, segs); err != nil {
 		return err
 	}
 	if sh.group != nil && appliedBefore > 0 {
-		for _, ws := range sh.group.storages {
+		sh.group.mu.Lock()
+		wals := append([]*raft.WALStorage(nil), sh.group.wals...)
+		sh.group.mu.Unlock()
+		for _, ws := range wals {
 			if ws != nil {
 				_ = ws.Checkpoint(appliedBefore)
 			}
@@ -608,6 +806,9 @@ func (w *Worker) drainShardLocked(sh *Shard) error {
 // rebalance removes the shard from a tenant's route: the paper flushes
 // to OSS instead of migrating data).
 func (w *Worker) FlushShard(id flow.ShardID) error {
+	if w.down.Load() {
+		return ErrWorkerDown
+	}
 	sh, err := w.shard(id)
 	if err != nil {
 		return err
@@ -649,10 +850,33 @@ func (w *Worker) ResidentRows() int64 {
 	return total
 }
 
-// Close stops the archive loop (draining once more), raft groups, and
-// the prefetch pool.
-func (w *Worker) Close() {
+// Close stops the worker gracefully: the archive loop drains resident
+// rows to object storage once more, then raft groups, row stores, and
+// the prefetch pool shut down. Safe to call concurrently and more than
+// once (including after Crash) — only the first stop runs.
+func (w *Worker) Close() { w.shutdown(true) }
+
+// Crash stops the worker as a process kill would: no final archive
+// drain, no checkpoint — resident rows and in-memory raft state are
+// abandoned. Everything the worker acked survives only through what is
+// already durable (raft WALs on disk, LogBlocks on OSS); a recovery
+// rebuild (New + AddShard on the same DataDir) must reconstruct exactly
+// the acked rows from those two sources.
+func (w *Worker) Crash() {
+	w.crashed.Store(true)
+	w.shutdown(false)
+}
+
+// Alive reports whether the worker is serving (not crashed or closed).
+func (w *Worker) Alive() bool { return !w.down.Load() }
+
+// shutdown is the single stop path shared by Close and Crash.
+func (w *Worker) shutdown(graceful bool) {
 	w.stopOnce.Do(func() {
+		if !graceful {
+			w.crashed.Store(true)
+		}
+		w.down.Store(true)
 		close(w.archiveStop)
 		<-w.archiveDone
 		w.mu.Lock()
@@ -667,6 +891,129 @@ func (w *Worker) Close() {
 			w.pool.Close()
 		}
 	})
+}
+
+// --- Shard-level fault injection (chaos tests) -----------------------
+
+// shardGroup resolves a shard that has a raft group.
+func (w *Worker) shardGroup(id flow.ShardID) (*Shard, *raftGroup, error) {
+	sh, err := w.shard(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sh.group == nil {
+		return nil, nil, fmt.Errorf("worker %d shard %d: not replicated", w.cfg.ID, id)
+	}
+	return sh, sh.group, nil
+}
+
+// KillShardLeader stops the shard's current raft leader in place and
+// returns its replica id. The group is left to elect a new leader on
+// its own; Append retries ride across the election. Returns an error
+// if no replica currently leads (e.g. mid-election).
+func (w *Worker) KillShardLeader(id flow.ShardID) (raft.NodeID, error) {
+	_, g, err := w.shardGroup(id)
+	if err != nil {
+		return 0, err
+	}
+	leader := g.leader()
+	if leader == nil {
+		return 0, fmt.Errorf("worker %d shard %d: no leader to kill", w.cfg.ID, id)
+	}
+	lid := leader.Status().ID
+	return lid, g.kill(lid)
+}
+
+// KillShardReplica stops one replica's raft node in place (storage
+// stays open). Idempotent.
+func (w *Worker) KillShardReplica(id flow.ShardID, replica raft.NodeID) error {
+	_, g, err := w.shardGroup(id)
+	if err != nil {
+		return err
+	}
+	return g.kill(replica)
+}
+
+// RestartShardReplica restarts a killed replica in place, reusing its
+// open durable storage, and reconnects it to the group network.
+func (w *Worker) RestartShardReplica(id flow.ShardID, replica raft.NodeID) error {
+	sh, g, err := w.shardGroup(id)
+	if err != nil {
+		return err
+	}
+	i := int(replica)
+	g.mu.Lock()
+	if i < 0 || i >= len(g.nodes) {
+		g.mu.Unlock()
+		return fmt.Errorf("worker %d shard %d: no raft replica %d", w.cfg.ID, id, replica)
+	}
+	if !g.stopped[i] {
+		g.mu.Unlock()
+		return nil // still running
+	}
+	g.mu.Unlock()
+	g.net.Reconnect(replica)
+	return w.startReplicaLocked(sh, g, replica)
+}
+
+// DisconnectShardReplica partitions one replica from the group network.
+func (w *Worker) DisconnectShardReplica(id flow.ShardID, replica raft.NodeID) error {
+	_, g, err := w.shardGroup(id)
+	if err != nil {
+		return err
+	}
+	g.net.Disconnect(replica)
+	return nil
+}
+
+// HealShardNetwork clears every partition and loss setting on the
+// shard's replica network.
+func (w *Worker) HealShardNetwork(id flow.ShardID) error {
+	_, g, err := w.shardGroup(id)
+	if err != nil {
+		return err
+	}
+	g.net.HealAll()
+	return nil
+}
+
+// ShardApplied reports the serving replica's applied raft index.
+func (w *Worker) ShardApplied(id flow.ShardID) (uint64, error) {
+	sh, err := w.shard(id)
+	if err != nil {
+		return 0, err
+	}
+	return sh.applied.Load(), nil
+}
+
+// BatchID derives the content-addressed identity of an encoded batch:
+// the FNV-64a hash of its EncodeBatch bytes. Identical content maps to
+// an identical id, which is what lets a shard suppress a batch retried
+// after an ambiguous outcome (leader died between commit and ack).
+func BatchID(encoded []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(encoded)
+	return h.Sum64()
+}
+
+// EncodeProposal wraps an encoded batch in the raft proposal envelope:
+// an 8-byte big-endian batch id followed by the batch payload.
+func EncodeProposal(encoded []byte) []byte {
+	out := make([]byte, 8, 8+len(encoded))
+	binary.BigEndian.PutUint64(out, BatchID(encoded))
+	return append(out, encoded...)
+}
+
+// DecodeProposal splits a proposal envelope into its batch id and rows.
+func DecodeProposal(data []byte) (uint64, []schema.Row, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("worker: proposal too short (%d bytes)", len(data))
+	}
+	rows, err := DecodeBatch(data[8:])
+	if err != nil {
+		return 0, nil, err
+	}
+	return binary.BigEndian.Uint64(data), rows, nil
 }
 
 // EncodeBatch serializes a row batch for raft replication.

@@ -32,8 +32,10 @@ import (
 	"logstore/internal/controller"
 	"logstore/internal/flow"
 	"logstore/internal/meta"
+	"logstore/internal/metrics"
 	"logstore/internal/oss"
 	"logstore/internal/query"
+	"logstore/internal/raft"
 	"logstore/internal/rowstore"
 	"logstore/internal/schema"
 	"logstore/internal/worker"
@@ -59,6 +61,17 @@ type (
 	Algorithm = flow.Algorithm
 	// TenantID identifies a tenant.
 	TenantID = flow.TenantID
+	// ReplicaID identifies one replica inside a shard's raft group.
+	ReplicaID = raft.NodeID
+	// WorkerState is a worker's health as the cluster sees it.
+	WorkerState = flow.WorkerState
+)
+
+// Worker health states (see flow.HealthTracker).
+const (
+	WorkerUp       = flow.WorkerUp
+	WorkerDraining = flow.WorkerDraining
+	WorkerDead     = flow.WorkerDead
 )
 
 // Traffic-scheduling algorithm choices.
@@ -137,6 +150,17 @@ type Config struct {
 	// RaftQueueItems bounds each shard's Raft sync/apply queues (BFC);
 	// 0 keeps raft defaults. Small values trip backpressure earlier.
 	RaftQueueItems int
+	// HeartbeatInterval is the worker health-check cadence: each beat
+	// marks live workers up and advances the miss counter of silent
+	// ones (0 disables the loop — health stays optimistic).
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many consecutive missed heartbeats mark a
+	// worker dead (0 = 3).
+	HeartbeatMisses int
+	// HedgeDelay enables hedged block sub-queries on the brokers: a
+	// straggling worker's block set is speculatively re-dispatched to
+	// another worker after this delay (0 disables hedging).
+	HedgeDelay time.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -200,6 +224,15 @@ type Cluster struct {
 	brokers []*broker.Broker
 	nextBrk atomic.Uint64
 
+	health *flow.HealthTracker
+	hbStop chan struct{}
+	hbDone chan struct{}
+
+	// recovery bookkeeping (chaos/failover observability)
+	crashes     metrics.Counter
+	recoveries  metrics.Counter
+	leaderKills metrics.Counter
+
 	closed atomic.Bool
 }
 
@@ -219,7 +252,13 @@ func Open(cfg Config) (*Cluster, error) {
 		catalog:    meta.NewManager(),
 		workers:    make(map[flow.WorkerID]*worker.Worker),
 		shardOwner: make(map[flow.ShardID]flow.WorkerID),
+		health:     flow.NewHealthTracker(cfg.HeartbeatMisses),
+		hbStop:     make(chan struct{}),
+		hbDone:     make(chan struct{}),
 	}
+	// Started before any fallible step: Close waits on the loop, and
+	// Open's error paths all go through Close.
+	go c.heartbeatLoop()
 	for i := 0; i < cfg.Workers; i++ {
 		if _, err := c.addWorkerLocked(); err != nil {
 			c.Close()
@@ -257,8 +296,11 @@ func Open(cfg Config) (*Cluster, error) {
 	for i := 0; i < 2; i++ {
 		r := flow.NewRouter(c.shardIDsLocked(), int64(i)+1)
 		ctrl.Scheduler().Subscribe(r.Update)
-		b, err := broker.New(broker.Config{ID: i, Exec: exec, Seed: int64(i) + 100},
-			c.sch, r, ctrl.Collector(), c.catalog, c)
+		b, err := broker.New(broker.Config{
+			ID: i, Exec: exec, Seed: int64(i) + 100,
+			Health:     c.health,
+			HedgeDelay: cfg.HedgeDelay,
+		}, c.sch, r, ctrl.Collector(), c.catalog, c)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -269,11 +311,61 @@ func Open(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// heartbeatLoop is the cluster's failure detector: on each interval it
+// beats the tracker for every worker still answering Alive and advances
+// the miss counter of the rest. Brokers consult the resulting state to
+// steer sub-queries and writes away from dead workers.
+func (c *Cluster) heartbeatLoop() {
+	defer close(c.hbDone)
+	if c.cfg.HeartbeatInterval <= 0 {
+		<-c.hbStop
+		return
+	}
+	ticker := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-ticker.C:
+			c.mu.RLock()
+			for id, w := range c.workers {
+				if w.Alive() {
+					c.health.Beat(id)
+				}
+			}
+			c.mu.RUnlock()
+			c.health.Tick()
+		}
+	}
+}
+
 // addWorkerLocked provisions one worker with the configured shard count.
 // Callers hold no lock during Open; ScaleOut takes c.mu.
 func (c *Cluster) addWorkerLocked() (*worker.Worker, error) {
 	id := c.nextWorker
 	c.nextWorker++
+	w, err := c.newWorkerLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < c.cfg.ShardsPerWorker; s++ {
+		sid := c.nextShard
+		c.nextShard++
+		if err := w.AddShard(sid); err != nil {
+			w.Close()
+			return nil, err
+		}
+		c.shardOwner[sid] = id
+	}
+	c.workers[id] = w
+	return w, nil
+}
+
+// newWorkerLocked builds a worker node with the cluster's configuration.
+// The same id always maps to the same DataDir, so rebuilding a crashed
+// worker recovers its shards' raft WALs.
+func (c *Cluster) newWorkerLocked(id flow.WorkerID) (*worker.Worker, error) {
 	cacheDir := ""
 	if c.cfg.CacheDir != "" {
 		cacheDir = fmt.Sprintf("%s/worker-%d", c.cfg.CacheDir, id)
@@ -312,16 +404,6 @@ func (c *Cluster) addWorkerLocked() (*worker.Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	for s := 0; s < c.cfg.ShardsPerWorker; s++ {
-		sid := c.nextShard
-		c.nextShard++
-		if err := w.AddShard(sid); err != nil {
-			w.Close()
-			return nil, err
-		}
-		c.shardOwner[sid] = id
-	}
-	c.workers[id] = w
 	return w, nil
 }
 
@@ -582,12 +664,174 @@ func (c *Cluster) Workers() int {
 	return len(c.workers)
 }
 
+// ---- node-failure injection & recovery ----
+
+// ShardIDs lists every shard in the cluster, ascending.
+func (c *Cluster) ShardIDs() []flow.ShardID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.shardIDsLocked()
+}
+
+// WorkerHealth reports the failure detector's view of a worker.
+func (c *Cluster) WorkerHealth(id flow.WorkerID) WorkerState {
+	return c.health.State(id)
+}
+
+// CrashWorker kills a worker ungracefully — no flush, no checkpoint,
+// exactly as a node death would. The worker stays registered (brokers
+// see ErrWorkerDown and fail over / re-route) until RecoverWorker
+// rebuilds it.
+func (c *Cluster) CrashWorker(id flow.WorkerID) error {
+	c.mu.RLock()
+	w, ok := c.workers[id]
+	c.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("logstore: no worker %d", id)
+	}
+	if !w.Alive() {
+		return nil
+	}
+	w.Crash()
+	c.crashes.Inc()
+	return nil
+}
+
+// RecoverWorker rebuilds a crashed worker in place: a fresh node with
+// the same id and DataDir re-opens every hosted shard's raft WAL,
+// replays un-archived entries into a new row store, and resumes
+// serving. With durable storage configured, every row acked before the
+// crash is queryable afterwards (resident via replay, or already
+// archived on OSS).
+func (c *Cluster) RecoverWorker(id flow.WorkerID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, ok := c.workers[id]
+	if !ok {
+		return fmt.Errorf("logstore: no worker %d", id)
+	}
+	if old.Alive() {
+		return nil
+	}
+	old.Close() // release caches/pool of the dead instance; idempotent
+	w, err := c.newWorkerLocked(id)
+	if err != nil {
+		return fmt.Errorf("logstore: recover worker %d: %w", id, err)
+	}
+	sids := make([]flow.ShardID, 0)
+	for sid, owner := range c.shardOwner {
+		if owner == id {
+			sids = append(sids, sid)
+		}
+	}
+	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+	for _, sid := range sids {
+		if err := w.AddShard(sid); err != nil {
+			w.Close()
+			return fmt.Errorf("logstore: recover worker %d shard %d: %w", id, sid, err)
+		}
+	}
+	c.workers[id] = w
+	c.health.Beat(id) // don't wait a heartbeat round to route to it
+	c.recoveries.Inc()
+	return nil
+}
+
+// shardWorker resolves the worker hosting a shard.
+func (c *Cluster) shardWorker(s flow.ShardID) (*worker.Worker, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	wid, ok := c.shardOwner[s]
+	if !ok {
+		return nil, fmt.Errorf("logstore: no shard %d", s)
+	}
+	w, ok := c.workers[wid]
+	if !ok {
+		return nil, fmt.Errorf("logstore: shard %d owner %d missing", s, wid)
+	}
+	return w, nil
+}
+
+// KillShardLeader stops the raft leader of one shard's replica group;
+// the survivors elect a new leader and appends resume without manual
+// intervention. Returns the killed replica id (restart it later with
+// RestartShardReplica).
+func (c *Cluster) KillShardLeader(s flow.ShardID) (ReplicaID, error) {
+	w, err := c.shardWorker(s)
+	if err != nil {
+		return 0, err
+	}
+	id, err := w.KillShardLeader(s)
+	if err == nil {
+		c.leaderKills.Inc()
+	}
+	return id, err
+}
+
+// RestartShardReplica restarts a killed replica in place.
+func (c *Cluster) RestartShardReplica(s flow.ShardID, r ReplicaID) error {
+	w, err := c.shardWorker(s)
+	if err != nil {
+		return err
+	}
+	return w.RestartShardReplica(s, r)
+}
+
+// PartitionShardReplica cuts one replica off the shard's network.
+func (c *Cluster) PartitionShardReplica(s flow.ShardID, r ReplicaID) error {
+	w, err := c.shardWorker(s)
+	if err != nil {
+		return err
+	}
+	return w.DisconnectShardReplica(s, r)
+}
+
+// HealShard clears every partition and loss setting on the shard's
+// replica network.
+func (c *Cluster) HealShard(s flow.ShardID) error {
+	w, err := c.shardWorker(s)
+	if err != nil {
+		return err
+	}
+	return w.HealShardNetwork(s)
+}
+
+// RecoveryStats summarizes the cluster's failure handling: node crashes
+// injected/observed, workers rebuilt, shard leaders killed, and the
+// brokers' failover, hedge, and write re-route counts.
+type RecoveryStats struct {
+	Crashes     int64 `json:"crashes"`
+	Recoveries  int64 `json:"recoveries"`
+	LeaderKills int64 `json:"leader_kills"`
+	Failovers   int64 `json:"failovers"`
+	Hedges      int64 `json:"hedges"`
+	Reroutes    int64 `json:"reroutes"`
+}
+
+// RecoveryStats returns the current failure-handling counters.
+func (c *Cluster) RecoveryStats() RecoveryStats {
+	s := RecoveryStats{
+		Crashes:     c.crashes.Value(),
+		Recoveries:  c.recoveries.Value(),
+		LeaderKills: c.leaderKills.Value(),
+	}
+	for _, b := range c.brokers {
+		f, h, r := b.Stats()
+		s.Failovers += f
+		s.Hedges += h
+		s.Reroutes += r
+	}
+	return s
+}
+
 // Close stops background loops and all nodes. Resident (unarchived)
 // rows are flushed to object storage on the way down.
 func (c *Cluster) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
 	}
+	close(c.hbStop)
+	<-c.hbDone
 	if c.ctrl != nil {
 		c.ctrl.Stop()
 	}
