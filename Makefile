@@ -2,12 +2,13 @@ GO ?= go
 FUZZTIME ?= 10s
 CHAOS_SEED ?= 2026
 
-.PHONY: check fmt vet build test race lint fuzz chaos chaos-short bench bench-all clean
+.PHONY: check fmt vet build test race lint fuzz chaos chaos-short bench bench-all benchdiff soak soak-short clean
 
 ## check: the tier-1 gate — formatting, vet, build, race-enabled tests,
 ## plus the repo's own invariant linter, a short fuzz pass over every
-## untrusted decode surface, and the short node-failure chaos run.
-check: fmt vet build race lint fuzz chaos-short
+## untrusted decode surface, the short node-failure chaos run, and a
+## short sustained-load soak with exactly-once accounting.
+check: fmt vet build race lint fuzz chaos-short soak-short
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -55,17 +56,46 @@ chaos-short:
 	LOGSTORE_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -short \
 		-run 'TestChaosNodeFailures' -timeout 120s .
 
-## bench: the scan/materialize/ingest micro-benchmarks tracked across
-## perf PRs; writes BENCH_scan.json (ns/op, B/op, allocs/op per bench).
+## bench: the micro-benchmarks tracked across perf PRs; writes
+## BENCH_scan.json (query path) and BENCH_ingest.json (write path) with
+## ns/op, B/op, allocs/op per bench. Commit the refreshed JSON when a
+## perf PR intentionally moves the numbers — benchdiff gates against it.
 bench:
 	$(GO) test -bench 'BenchmarkScan|BenchmarkMaterialize|BenchmarkCountStar' \
 		-benchmem -run '^$$' ./internal/query/ > /tmp/bench_scan.txt
-	$(GO) test -bench 'BenchmarkIngestThroughput$$' -benchmem -run '^$$' . >> /tmp/bench_scan.txt
 	$(GO) run ./cmd/benchjson < /tmp/bench_scan.txt > BENCH_scan.json
+	$(GO) test -bench 'BenchmarkIngestThroughput$$|BenchmarkEncodeBatch$$|BenchmarkAppendGroupCommit$$' \
+		-benchmem -benchtime 2s -run '^$$' . > /tmp/bench_ingest.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_ingest.txt > BENCH_ingest.json
+
+## benchdiff: re-measure the tracked benchmarks and fail on a >25%
+## ns/op or allocs/op regression against the committed baselines.
+benchdiff:
+	$(GO) test -bench 'BenchmarkScan|BenchmarkMaterialize|BenchmarkCountStar' \
+		-benchmem -run '^$$' ./internal/query/ > /tmp/benchdiff_scan.txt
+	$(GO) run ./cmd/benchjson < /tmp/benchdiff_scan.txt > /tmp/benchdiff_scan.json
+	$(GO) run ./cmd/benchdiff -base BENCH_scan.json -new /tmp/benchdiff_scan.json
+	$(GO) test -bench 'BenchmarkIngestThroughput$$|BenchmarkEncodeBatch$$|BenchmarkAppendGroupCommit$$' \
+		-benchmem -benchtime 2s -run '^$$' . > /tmp/benchdiff_ingest.txt
+	$(GO) run ./cmd/benchjson < /tmp/benchdiff_ingest.txt > /tmp/benchdiff_ingest.json
+	$(GO) run ./cmd/benchdiff -base BENCH_ingest.json -new /tmp/benchdiff_ingest.json
 
 ## bench-all: every benchmark in the tree, one iteration (smoke).
 bench-all:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+## soak: the sustained-load gate — thousands of zipfian tenants,
+## concurrent writers and readers against a replicated cluster, with
+## exactly-once accounting verified at the end; writes BENCH_soak.json
+## (commit it alongside perf PRs).
+soak:
+	$(GO) run ./cmd/logstore-soak -tenants 2000 -duration 20s \
+		-writers 8 -readers 2 -out BENCH_soak.json
+
+## soak-short: the reduced soak folded into `make check`.
+soak-short:
+	$(GO) run ./cmd/logstore-soak -tenants 200 -duration 2s \
+		-writers 4 -readers 1 -out /tmp/bench_soak_short.json
 
 clean:
 	$(GO) clean ./...

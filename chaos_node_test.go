@@ -83,6 +83,14 @@ func TestChaosNodeFailures(t *testing.T) {
 	if stats.LeaderKills < int64(ccfg.LeaderKills) {
 		t.Fatalf("recovery stats = %+v, want >=%d leader kills", stats, ccfg.LeaderKills)
 	}
-	t.Logf("chaos stats: %+v; acked=%d batches=%d retries=%d queries=%d",
-		stats, rep.AckedTotal, rep.Batches, rep.AppendRetries, rep.Queries)
+	// Group commit is on by default, so every surviving worker routed
+	// its ingest through the coalescer — the exactly-once verification
+	// above therefore also covers coalesced groups under crashes,
+	// leader kills, and partitions.
+	groups, batches := c.CoalesceStats()
+	if batches == 0 || groups == 0 {
+		t.Fatalf("coalescer saw no traffic (groups=%d batches=%d); chaos must run with coalescing enabled", groups, batches)
+	}
+	t.Logf("chaos stats: %+v; acked=%d batches=%d retries=%d queries=%d coalesce=%d/%d",
+		stats, rep.AckedTotal, rep.Batches, rep.AppendRetries, rep.Queries, groups, batches)
 }

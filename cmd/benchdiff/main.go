@@ -1,0 +1,100 @@
+// Command benchdiff compares a fresh benchjson report against a
+// committed baseline and fails when a benchmark regressed: ns/op or
+// allocs/op more than -max-regress percent above the baseline. It is
+// the perf gate that keeps the numbers in BENCH_*.json honest — a PR
+// that slows the tracked paths down must either fix the regression or
+// consciously re-baseline by committing the new JSON.
+//
+//	go test -bench ... -benchmem | benchjson > /tmp/new.json
+//	benchdiff -base BENCH_scan.json -new /tmp/new.json
+//
+// Benchmarks present in only one file are reported but not failing:
+// baselines grow as benchmarks are added. Improvements are printed so
+// a perf PR's wins are visible in the same output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// result mirrors cmd/benchjson's per-benchmark entry.
+type result struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+func load(path string) map[string]result {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	out := make(map[string]result)
+	if err := json.Unmarshal(data, &out); err != nil {
+		fatal("%s: %v", path, err)
+	}
+	return out
+}
+
+func pct(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+func main() {
+	var (
+		basePath   = flag.String("base", "", "committed baseline JSON (required)")
+		newPath    = flag.String("new", "", "freshly measured JSON (required)")
+		maxRegress = flag.Float64("max-regress", 25, "max tolerated regression, percent")
+	)
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		fatal("usage: benchdiff -base BENCH_x.json -new /tmp/new.json [-max-regress 25]")
+	}
+	base := load(*basePath)
+	cur := load(*newPath)
+
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	for _, n := range names {
+		b := base[n]
+		c, ok := cur[n]
+		if !ok {
+			fmt.Printf("SKIP %s: missing from %s\n", n, *newPath)
+			continue
+		}
+		nsDelta := pct(b.NsOp, c.NsOp)
+		allocDelta := pct(float64(b.AllocsOp), float64(c.AllocsOp))
+		verdict := "ok  "
+		if nsDelta > *maxRegress || allocDelta > *maxRegress {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %-40s ns/op %12.0f → %12.0f (%+6.1f%%)  allocs/op %6d → %6d (%+6.1f%%)\n",
+			verdict, n, b.NsOp, c.NsOp, nsDelta, b.AllocsOp, c.AllocsOp, allocDelta)
+	}
+	for n := range cur {
+		if _, ok := base[n]; !ok {
+			fmt.Printf("NEW  %s: not in baseline %s\n", n, *basePath)
+		}
+	}
+	if failed > 0 {
+		fatal("%d benchmark(s) regressed more than %.0f%%", failed, *maxRegress)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -119,6 +119,29 @@ func (q *Queue) TryPop() (any, bool) {
 	return it.value, true
 }
 
+// DrainAll pops every pending item in FIFO order in one critical
+// section, appending the values to out and returning it. Item and byte
+// accounting is released atomically with the removal — a concurrent
+// Snapshot observes either the full queue or the empty one, never a
+// negative or stale occupancy — which is what the raft group-commit
+// drain relies on when it takes N proposals in one loop iteration.
+// Returns out unchanged when the queue is empty.
+func (q *Queue) DrainAll(out []any) []any {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return out
+	}
+	for i := range q.items {
+		out = append(out, q.items[i].value)
+		q.items[i] = queueItem{} // release the reference
+	}
+	q.popped.Add(int64(len(q.items)))
+	q.items = q.items[:0]
+	q.bytes = 0
+	return out
+}
+
 // Close marks the queue closed; pending items remain poppable, blocked
 // Pops wake, and further Pushes fail with ErrClosed.
 func (q *Queue) Close() {

@@ -2,6 +2,7 @@ package backpressure
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -244,5 +245,73 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 	cg.Wait()
 	if produced != total || consumed != total {
 		t.Errorf("produced %d consumed %d, want %d", produced, consumed, total)
+	}
+}
+
+// TestDrainAllAtomicAccounting is the group-drain regression test:
+// removing N items in one DrainAll must release item and byte
+// accounting atomically, so a concurrent Snapshot never observes
+// negative or stale occupancy (e.g. zero items with leftover bytes).
+func TestDrainAllAtomicAccounting(t *testing.T) {
+	q := NewQueue("drain", 1024, 1<<20)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 64; i++ {
+			if err := q.Push(i, 100); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stop := make(chan struct{})
+		bad := make(chan string, 1)
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := q.Snapshot()
+				if s.Bytes < 0 || s.Len < 0 {
+					select {
+					case bad <- fmt.Sprintf("negative occupancy: len=%d bytes=%d", s.Len, s.Bytes):
+					default:
+					}
+					return
+				}
+				if int64(s.Len)*100 != s.Bytes {
+					select {
+					case bad <- fmt.Sprintf("stale occupancy: len=%d bytes=%d", s.Len, s.Bytes):
+					default:
+					}
+					return
+				}
+			}
+		}()
+		out := q.DrainAll(nil)
+		close(stop)
+		select {
+		case msg := <-bad:
+			t.Fatal(msg)
+		default:
+		}
+		if len(out) != 64 {
+			t.Fatalf("drained %d items, want 64", len(out))
+		}
+		for i, v := range out {
+			if v.(int) != i {
+				t.Fatalf("out[%d] = %v, want %d (FIFO order)", i, v, i)
+			}
+		}
+		s := q.Snapshot()
+		if s.Len != 0 || s.Bytes != 0 {
+			t.Fatalf("after drain: len=%d bytes=%d, want 0/0", s.Len, s.Bytes)
+		}
+	}
+	// Popped metric advanced by every drained item.
+	if got := q.Snapshot().Popped; got != 50*64 {
+		t.Fatalf("popped = %d, want %d", got, 50*64)
+	}
+	// Draining an empty queue leaves out untouched.
+	if out := q.DrainAll(nil); out != nil {
+		t.Fatalf("empty drain returned %v", out)
 	}
 }

@@ -83,3 +83,19 @@ func LenString(b []byte) (string, int, error) {
 	}
 	return string(p), n, nil
 }
+
+// UvarintLen returns the encoded size of v as an unsigned varint,
+// letting encoders pre-size buffers exactly instead of growing them.
+func UvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// VarintLen returns the encoded size of v as a zig-zag signed varint.
+func VarintLen(v int64) int {
+	return UvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}

@@ -11,7 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -85,6 +85,31 @@ func New(cfg Config, sch *schema.Schema, router *flow.Router,
 	return &Broker{cfg: cfg, sch: sch, router: router, collector: collector, catalog: catalog, pool: pool}, nil
 }
 
+// appendScratch is the reusable grouping state for one Append call: the
+// per-tenant row buckets and the ordered tenant list. The map and the
+// bucket slices keep their capacity across calls; only the row
+// references are cleared before the scratch returns to the pool.
+type appendScratch struct {
+	byTenant map[int64][]schema.Row
+	tenants  []int64
+}
+
+var appendScratchPool = sync.Pool{New: func() any {
+	return &appendScratch{byTenant: make(map[int64][]schema.Row)}
+}}
+
+func (s *appendScratch) release() {
+	for _, t := range s.tenants {
+		bucket := s.byTenant[t]
+		for i := range bucket {
+			bucket[i] = nil
+		}
+		s.byTenant[t] = bucket[:0]
+	}
+	s.tenants = s.tenants[:0]
+	appendScratchPool.Put(s)
+}
+
 // Append routes and writes a batch of rows. Rows may span tenants; the
 // broker groups them, routes each tenant's sub-batch by the routing
 // table, and records traffic for the hotspot monitor. The first error
@@ -94,20 +119,25 @@ func (b *Broker) Append(rows []schema.Row) error {
 		return nil
 	}
 	tenantIdx := b.sch.TenantIdx()
-	byTenant := make(map[int64][]schema.Row)
+	scratch := appendScratchPool.Get().(*appendScratch)
+	defer scratch.release()
 	for i, r := range rows {
 		if err := r.Conforms(b.sch); err != nil {
 			return fmt.Errorf("broker: row %d: %w", i, err)
 		}
-		byTenant[r[tenantIdx].I] = append(byTenant[r[tenantIdx].I], r)
+		t := r[tenantIdx].I
+		bucket := scratch.byTenant[t]
+		if len(bucket) == 0 {
+			// First row for t this call (a pooled scratch keeps empty
+			// buckets for tenants from earlier calls).
+			scratch.tenants = append(scratch.tenants, t)
+		}
+		scratch.byTenant[t] = append(bucket, r)
 	}
-	tenants := make([]int64, 0, len(byTenant))
-	for t := range byTenant {
-		tenants = append(tenants, t)
-	}
-	sort.Slice(tenants, func(i, j int) bool { return tenants[i] < tenants[j] })
+	tenants := scratch.tenants
+	slices.Sort(tenants) // deterministic write order, no reflection
 	for _, tenant := range tenants {
-		if err := b.appendTenant(tenant, byTenant[tenant]); err != nil {
+		if err := b.appendTenant(tenant, scratch.byTenant[tenant]); err != nil {
 			return err
 		}
 	}
@@ -126,7 +156,9 @@ func (b *Broker) appendTenant(tenant int64, batch []schema.Row) error {
 	if window <= 0 {
 		window = 5 * time.Second
 	}
-	deadline := time.Now().Add(window)
+	// The deadline is read lazily so the success path (every append,
+	// under load) never touches the clock.
+	var deadline time.Time
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		shard := b.router.Route(flow.TenantID(tenant))
@@ -143,7 +175,9 @@ func (b *Broker) appendTenant(tenant int64, batch []schema.Row) error {
 			// leader wait; re-check after a beat.
 			lastErr = fmt.Errorf("broker: worker %d is down", wid)
 		default:
-			err := w.Append(shard, batch)
+			// Rows were conformance-checked in Append (and the row store
+			// re-checks on insert), so skip the worker's middle pass.
+			err := w.AppendTrusted(shard, batch)
 			if err == nil {
 				b.collector.Record(flow.TenantID(tenant), shard, wid, int64(len(batch)))
 				return nil
@@ -153,7 +187,9 @@ func (b *Broker) appendTenant(tenant int64, batch []schema.Row) error {
 			}
 			lastErr = err
 		}
-		if time.Now().After(deadline) {
+		if deadline.IsZero() {
+			deadline = time.Now().Add(window)
+		} else if time.Now().After(deadline) {
 			return fmt.Errorf("broker: append tenant %d: no live route: %w", tenant, lastErr)
 		}
 		b.reroutes.Inc()

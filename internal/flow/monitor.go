@@ -64,9 +64,7 @@ func (c *Collector) Record(t TenantID, s ShardID, w WorkerID, n int64) {
 		c.worker[w] = wr
 	}
 	c.mu.Unlock()
-	tr.Add(n)
-	sr.Add(n)
-	wr.Add(n)
+	metrics.AddAll(n, tr, sr, wr)
 }
 
 // Snapshot returns the current rates (units/sec) for every observed

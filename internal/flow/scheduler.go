@@ -133,11 +133,35 @@ func (s *Scheduler) SetTopology(topo *Topology) error {
 func (s *Scheduler) EnsureTenant(t TenantID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.table[t]; ok {
+	s.ensureLocked([]TenantID{t})
+}
+
+// EnsureTenants adds routes for every listed tenant not yet in the
+// table, under one lock acquisition. The append hot path calls this
+// once per client batch instead of once per row; ids may repeat (the
+// caller needn't dedup — the table lookup is the dedup).
+func (s *Scheduler) EnsureTenants(ts []TenantID) {
+	if len(ts) == 0 {
 		return
 	}
-	ch := NewConsistentHash(s.topo.Shards(), 0)
-	s.table[t] = map[ShardID]float64{ch.Owner(t): 1.0}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureLocked(ts)
+}
+
+// ensureLocked inserts missing routes; the hash ring is built at most
+// once per call, and not at all on the (hot) all-known path.
+func (s *Scheduler) ensureLocked(ts []TenantID) {
+	var ch *ConsistentHash
+	for _, t := range ts {
+		if _, ok := s.table[t]; ok {
+			continue
+		}
+		if ch == nil {
+			ch = NewConsistentHash(s.topo.Shards(), 0)
+		}
+		s.table[t] = map[ShardID]float64{ch.Owner(t): 1.0}
+	}
 }
 
 // Rebalance runs one iteration of the Global Traffic Control Framework

@@ -94,11 +94,16 @@ func runFixture(t *testing.T, fixture string, a *Analyzer) {
 	}
 }
 
-func TestRawStoreAnalyzer(t *testing.T)   { runFixture(t, "worker", RawStoreAnalyzer) }
-func TestLockIOAnalyzer(t *testing.T)     { runFixture(t, "lockheld", LockIOAnalyzer) }
-func TestErrCloseAnalyzer(t *testing.T)   { runFixture(t, "closecheck", ErrCloseAnalyzer) }
-func TestWallClockAnalyzer(t *testing.T)  { runFixture(t, "flow", WallClockAnalyzer) }
-func TestBoxedValueAnalyzer(t *testing.T) { runFixture(t, "boxeduser", BoxedValueAnalyzer) }
+func TestRawStoreAnalyzer(t *testing.T)  { runFixture(t, "worker", RawStoreAnalyzer) }
+func TestLockIOAnalyzer(t *testing.T)    { runFixture(t, "lockheld", LockIOAnalyzer) }
+func TestErrCloseAnalyzer(t *testing.T)  { runFixture(t, "closecheck", ErrCloseAnalyzer) }
+func TestWallClockAnalyzer(t *testing.T) { runFixture(t, "flow", WallClockAnalyzer) }
+
+// TestWallClockAnalyzerWorker covers the worker ingest path's seam:
+// the same fixture package that exercises rawstore also carries a
+// clock.go seam plus direct time.* uses the analyzer must flag.
+func TestWallClockAnalyzerWorker(t *testing.T) { runFixture(t, "worker", WallClockAnalyzer) }
+func TestBoxedValueAnalyzer(t *testing.T)      { runFixture(t, "boxeduser", BoxedValueAnalyzer) }
 
 // TestRawStoreScope checks the production-package scoping: the same
 // violating code in a package whose import path does not end in a

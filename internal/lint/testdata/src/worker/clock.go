@@ -1,0 +1,14 @@
+package worker
+
+import "time"
+
+// clock.go is the designated wallclock seam, mirroring the production
+// worker package: retry loops and background tickers must route through
+// these so tests can pin time.
+
+var (
+	timeNow   = time.Now
+	timeSleep = time.Sleep
+)
+
+func newWallTicker(d time.Duration) *time.Ticker { return time.NewTicker(d) }

@@ -1,0 +1,41 @@
+package worker
+
+import "time"
+
+// time.go exercises the wallclock analyzer on the worker package: the
+// append retry loop and background tickers must use the clock.go seam,
+// never the time package directly.
+
+// retryBad is the anti-pattern: a deadline retry loop reading the wall
+// clock directly, invisible to deterministic tests.
+func retryBad() bool {
+	deadline := time.Now().Add(time.Second) // want wallclock
+	for time.Now().Before(deadline) {       // want wallclock
+		time.Sleep(2 * time.Millisecond) // want wallclock
+	}
+	return false
+}
+
+// tickBad starts a background cadence off the raw clock.
+func tickBad() *time.Ticker {
+	return time.NewTicker(time.Second) // want wallclock
+}
+
+// retryGood routes the same loop through the seam vars. The
+// deadline.After / Before calls are time.Time comparison METHODS —
+// pure value math, not the time.After timer — and must stay clean.
+func retryGood() bool {
+	deadline := timeNow().Add(time.Second)
+	for !timeNow().After(deadline) {
+		timeSleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// tickGood uses the seam's ticker constructor.
+func tickGood() *time.Ticker {
+	return newWallTicker(time.Second)
+}
+
+// spanGood is pure duration arithmetic: no clock read involved.
+func spanGood(d time.Duration) time.Duration { return d / 2 }

@@ -6,15 +6,18 @@ import (
 
 // wallClockPkgs are the deterministic packages (by last import-path
 // segment): the max-flow scheduler, the experiment harness, the
-// workload generator, and the raft core must produce identical output
-// for identical input, so they may not consult the wall clock directly.
-// (Raft's tick/election timers run behind the Clock seam so failover
-// tests can drive elections deterministically.)
+// workload generator, the raft core, and the worker ingest path must
+// produce identical output for identical input, so they may not consult
+// the wall clock directly. (Raft's tick/election timers run behind the
+// Clock seam so failover tests can drive elections deterministically;
+// the worker's append retry loop and archive/standby tickers run behind
+// timeNow/timeSleep/newWallTicker in its clock.go for the same reason.)
 var wallClockPkgs = map[string]bool{
 	"flow":        true,
 	"experiments": true,
 	"workload":    true,
 	"raft":        true,
+	"worker":      true,
 }
 
 // wallClockFuncs are the time-package functions that read or depend on
@@ -41,7 +44,7 @@ const wallClockSeamFile = "clock.go"
 // outside their clock seam.
 var WallClockAnalyzer = &Analyzer{
 	Name: "wallclock",
-	Doc:  "deterministic packages (flow/experiments/workload/raft) must not read the wall clock outside clock.go",
+	Doc:  "deterministic packages (flow/experiments/workload/raft/worker) must not read the wall clock outside clock.go",
 	Run:  runWallClock,
 }
 
@@ -52,6 +55,12 @@ func runWallClock(p *Pass) {
 	for id, obj := range p.Info.Uses {
 		fn, ok := obj.(*types.Func)
 		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+			continue
+		}
+		// Methods on time.Time (t.After(u), t.Since is not one but
+		// t.Sub is) are pure value comparisons, not clock reads; only
+		// the package-level functions consult the wall clock.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
 			continue
 		}
 		if p.Filename(id.Pos()) == wallClockSeamFile {

@@ -85,7 +85,12 @@ func (r *Rate) SetClock(now func() time.Time) {
 // advance rotates the ring so the head bucket covers the current time.
 // Caller must hold mu.
 func (r *Rate) advance() {
-	nowNS := r.now().UnixNano()
+	r.advanceTo(r.now().UnixNano())
+}
+
+// advanceTo rotates the ring to cover an externally-read timestamp.
+// Caller must hold mu.
+func (r *Rate) advanceTo(nowNS int64) {
 	span := int64(r.bucketSpan)
 	steps := (nowNS - r.headStart) / span
 	if steps <= 0 {
@@ -104,6 +109,29 @@ func (r *Rate) advance() {
 		r.buckets[r.head] = 0
 	}
 	r.headStart += steps * span
+}
+
+// AddAll records n into every rate with one shared clock read (the
+// first rate's source), for callers that update several meters per
+// event — the traffic collector touches three on every append. The
+// rates should share a time source; after SetClock on any of them,
+// pass that one first.
+func AddAll(n int64, rates ...*Rate) {
+	if len(rates) == 0 {
+		return
+	}
+	first := rates[0]
+	first.mu.Lock()
+	nowNS := first.now().UnixNano()
+	first.advanceTo(nowNS)
+	first.buckets[first.head] += n
+	first.mu.Unlock()
+	for _, r := range rates[1:] {
+		r.mu.Lock()
+		r.advanceTo(nowNS)
+		r.buckets[r.head] += n
+		r.mu.Unlock()
+	}
 }
 
 // Add records n events at the current time.

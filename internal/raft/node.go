@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"logstore/internal/backpressure"
@@ -111,6 +112,20 @@ type Node struct {
 	quorumElapsed int
 	recentActive  map[NodeID]bool
 
+	// syncer is the Storage's optional durability hook (nil when the
+	// Storage needs no explicit flush). One Sync covers a whole
+	// group-committed run of entries.
+	syncer Syncer
+	// drainBuf is the reusable scratch for group-draining the
+	// sync_queue (run goroutine only).
+	drainBuf []any
+
+	// applied is the highest log index the apply loop has finished
+	// with (state-machine entries after SM.Apply returns, leadership
+	// no-ops as they pass through the queue). Commit acks fire before
+	// apply — AppliedIndex lets callers barrier on the gap.
+	applied atomic.Uint64
+
 	// Status snapshot, updated by the run goroutine.
 	statusMu sync.Mutex
 	status   Status
@@ -185,6 +200,7 @@ func NewNode(cfg Config) (*Node, error) {
 		leader:  None,
 		rng:     rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID)*7919)),
 	}
+	n.syncer, _ = cfg.Storage.(Syncer)
 	n.term, n.vote = cfg.Storage.InitialState()
 	n.base, n.baseTerm = cfg.Storage.Base()
 	n.log = cfg.Storage.Entries()
@@ -192,6 +208,7 @@ func NewNode(cfg Config) (*Node, error) {
 	// authorized the compaction), so a restarted node must not report a
 	// commit index behind it.
 	n.commitIndex = n.base
+	n.applied.Store(n.base)
 	n.resetElectionTimer()
 	n.updateStatus()
 
@@ -325,11 +342,32 @@ func (n *Node) applyLoop() {
 			return
 		}
 		e := v.(Entry)
-		if n.cfg.SM != nil {
+		// Leadership no-ops carry no data but still flow through the
+		// queue so the applied index advances in log order.
+		if len(e.Data) > 0 && n.cfg.SM != nil {
 			n.cfg.SM.Apply(e.Index, e.Data)
+		}
+		n.advanceApplied(e.Index)
+	}
+}
+
+// advanceApplied moves the applied index monotonically forward — an
+// installBase fast-forward can race the apply loop's stores.
+func (n *Node) advanceApplied(to uint64) {
+	for {
+		cur := n.applied.Load()
+		if to <= cur || n.applied.CompareAndSwap(cur, to) {
+			return
 		}
 	}
 }
+
+// AppliedIndex reports the highest log index whose apply has finished
+// on this node. A proposal ack only proves quorum commit; the state
+// machine sees the entry asynchronously. Callers that need read-your-
+// writes against this replica (e.g. flush-then-reconcile) wait until
+// AppliedIndex catches up to the leader's commit index.
+func (n *Node) AppliedIndex() uint64 { return n.applied.Load() }
 
 func (n *Node) resetElectionTimer() {
 	n.elapsed = 0
@@ -393,38 +431,59 @@ func (n *Node) checkQuorum() bool {
 	return true
 }
 
+// drainProposals group-commits the sync_queue: the entire backlog is
+// taken in one atomic drain, appended to the log (and the WAL) as one
+// consecutive run of entries, made durable with a single Sync, and
+// replicated in one AppendEntries fan-out. Each proposal stays its own
+// entry — content-address dedup identity is per proposal — only the
+// durability and replication round-trips are amortized across the
+// group. Every proposal's done channel is acked individually after
+// quorum (ackPending).
 func (n *Node) drainProposals() {
 	if n.state != StateLeader {
 		// Reject everything queued: only leaders replicate.
-		for {
-			v, ok := n.syncQ.TryPop()
-			if !ok {
-				return
-			}
+		buf := n.syncQ.DrainAll(n.drainBuf[:0])
+		for i, v := range buf {
 			v.(*proposal).done <- ErrNotLeader
+			buf[i] = nil
 		}
+		n.drainBuf = buf[:0]
+		return
 	}
 	// BFC: while the apply side is congested, leave proposals in the
 	// sync_queue so it fills and rejects new writes upstream.
 	if len(n.stalledApply) > 0 {
 		return
 	}
-	var added bool
-	for {
-		v, ok := n.syncQ.TryPop()
-		if !ok {
-			break
-		}
-		p := v.(*proposal)
-		e := Entry{Term: n.term, Index: n.lastIndex() + 1, Data: p.data}
-		n.appendEntries(e)
-		n.pending = append(n.pending, pendingAck{index: e.Index, done: p.done})
-		added = true
+	buf := n.syncQ.DrainAll(n.drainBuf[:0])
+	if len(buf) == 0 {
+		return
 	}
-	if added {
-		n.matchIndex[n.cfg.ID] = n.lastIndex()
-		n.broadcastAppend()
-		n.maybeCommit()
+	entries := make([]Entry, len(buf))
+	next := n.lastIndex() + 1
+	for i, v := range buf {
+		p := v.(*proposal)
+		entries[i] = Entry{Term: n.term, Index: next + uint64(i), Data: p.data}
+		n.pending = append(n.pending, pendingAck{index: entries[i].Index, done: p.done})
+		buf[i] = nil
+	}
+	n.drainBuf = buf[:0]
+	n.appendEntries(entries...)
+	// One fsync covers the whole run: only after it may the group count
+	// toward quorum on this node.
+	n.syncStorage()
+	n.matchIndex[n.cfg.ID] = n.lastIndex()
+	n.broadcastAppend()
+	n.maybeCommit()
+}
+
+// syncStorage flushes the storage when it buffers (WAL-backed); a
+// failed flush is ignored here — the entries stay in memory and the
+// worst case is re-replication after a crash, the same exposure the
+// write path already has when the log's disk vanishes mid-run.
+func (n *Node) syncStorage() {
+	if n.syncer != nil {
+		_ = n.syncer.Sync()
 	}
 }
 
@@ -492,6 +551,9 @@ func (n *Node) installBase(index, term uint64) {
 	if n.commitIndex < index {
 		n.commitIndex = index
 	}
+	// Entries at or below the new base can never be replayed to the SM
+	// from this node; the applied index must not wait for them.
+	n.advanceApplied(index)
 }
 
 func (n *Node) persistState() {
@@ -554,6 +616,7 @@ func (n *Node) becomeLeader() {
 	// from previous terms — e.g. after a full-cluster restart. No-op
 	// entries (empty Data) are skipped on the apply path.
 	n.appendEntries(Entry{Term: n.term, Index: n.lastIndex() + 1})
+	n.syncStorage()
 	n.matchIndex[n.cfg.ID] = n.lastIndex()
 	n.elapsed = 0
 	n.broadcastAppend()
@@ -582,13 +645,12 @@ func (n *Node) failPending(err error) {
 	}
 	n.pending = nil
 	// Also bounce queued-but-undrained proposals.
-	for {
-		v, ok := n.syncQ.TryPop()
-		if !ok {
-			break
-		}
+	buf := n.syncQ.DrainAll(n.drainBuf[:0])
+	for i, v := range buf {
 		v.(*proposal).done <- err
+		buf[i] = nil
 	}
+	n.drainBuf = buf[:0]
 }
 
 // ---- replication ----
@@ -720,7 +782,11 @@ func (n *Node) handleAppendRequest(msg Message) {
 		})
 		return
 	}
-	// Append, resolving conflicts.
+	// Append, resolving conflicts. The whole accepted run becomes one
+	// storage append and one Sync before the Success response — the
+	// follower half of group commit (a quorum ack must mean durable on
+	// a quorum, whatever the group size).
+	appended := false
 	for i, e := range msg.Entries {
 		if e.Index <= n.lastIndex() {
 			if n.termAt(e.Index) == e.Term {
@@ -729,7 +795,11 @@ func (n *Node) handleAppendRequest(msg Message) {
 			n.truncateFrom(e.Index)
 		}
 		n.appendEntries(msg.Entries[i:]...)
+		appended = true
 		break
+	}
+	if appended {
+		n.syncStorage()
 	}
 	match := msg.PrevLogIndex + uint64(len(msg.Entries))
 	if msg.LeaderCommit > n.commitIndex {
@@ -803,11 +873,11 @@ func (n *Node) advanceCommit(to uint64) {
 	from := n.commitIndex + 1
 	n.commitIndex = to
 	for idx := from; idx <= to; idx++ {
-		e := n.log[idx-n.base-1]
-		if len(e.Data) == 0 {
-			continue // leadership no-op: nothing to apply
-		}
-		n.stalledApply = append(n.stalledApply, e)
+		// Leadership no-ops are queued too (the apply loop skips the
+		// SM call): the applied index must cover every committed index
+		// or a flush barrier behind a fresh leader's no-op never meets
+		// its target.
+		n.stalledApply = append(n.stalledApply, n.log[idx-n.base-1])
 	}
 	n.flushStalledApply()
 	n.ackPending(to)

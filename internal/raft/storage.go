@@ -27,6 +27,16 @@ type Storage interface {
 	TruncateFrom(index uint64)
 }
 
+// Syncer is optionally implemented by Storage backends whose writes
+// buffer in the OS (WALStorage). The node calls Sync once per
+// group-committed run of entries — after appending the whole run,
+// before counting it replicated — so N concurrent proposals cost one
+// fsync, not N. Storages without a Syncer (MemoryStorage) are treated
+// as always-durable.
+type Syncer interface {
+	Sync() error
+}
+
 // MemoryStorage is the default Storage: everything in RAM. A WAL-backed
 // implementation can replace it where durability across process death
 // is needed; within the in-process simulation, node "crashes" keep the

@@ -206,18 +206,36 @@ func (s *WALStorage) Entries() []Entry {
 	return out
 }
 
-// Append implements Storage.
+// Append implements Storage. A multi-entry run (a group commit) becomes
+// one batched WAL write instead of a write per entry; the caller issues
+// one Sync for the whole run afterwards.
 func (s *WALStorage) Append(entries []Entry) {
+	if len(entries) == 0 {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, e := range entries {
-		rec := append([]byte{walTagEntry}, e.AppendTo(nil)...)
+	if len(entries) == 1 {
+		rec := append([]byte{walTagEntry}, entries[0].AppendTo(nil)...)
 		seq, err := s.log.Append(rec)
 		if err != nil {
 			return // closed log: in-memory state still serves the node
 		}
-		s.entries = append(s.entries, e)
+		s.entries = append(s.entries, entries[0])
 		s.seqs = append(s.seqs, seq)
+		return
+	}
+	recs := make([][]byte, len(entries))
+	for i, e := range entries {
+		recs[i] = append([]byte{walTagEntry}, e.AppendTo(nil)...)
+	}
+	first, err := s.log.AppendBatch(recs)
+	if err != nil {
+		return
+	}
+	for i, e := range entries {
+		s.entries = append(s.entries, e)
+		s.seqs = append(s.seqs, first+uint64(i))
 	}
 }
 

@@ -85,6 +85,21 @@ func (r Row) Size() int {
 	return n
 }
 
+// EncodedSize returns the exact number of bytes AppendTo will produce,
+// so batch encoders can pre-size their buffers and stay zero-alloc.
+func (r Row) EncodedSize() int {
+	n := bitutil.UvarintLen(uint64(len(r)))
+	for _, v := range r {
+		n++ // kind byte
+		if v.Kind == Int64 {
+			n += bitutil.VarintLen(v.I)
+		} else {
+			n += bitutil.UvarintLen(uint64(len(v.S))) + len(v.S)
+		}
+	}
+	return n
+}
+
 // Tenant extracts the tenant id given the schema.
 func (r Row) Tenant(s *Schema) int64 { return r[s.TenantIdx()].I }
 

@@ -1,0 +1,174 @@
+package worker
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// coalescer merges concurrent appends to one shard into fewer, larger
+// raft proposals — the ingest half of group commit (the raft node
+// amortizes the WAL fsync and replication fan-out; this amortizes the
+// proposal count itself). It batches *naturally*: the flusher proposes
+// whatever is queued the moment it is free, so an append in a quiet
+// period ships alone with no added latency, and appends that arrive
+// while a propose is in flight accumulate into the next group. A
+// configurable linger can trade latency for larger groups; size caps
+// bound how much one proposal carries.
+type coalescer struct {
+	w  *Worker
+	sh *Shard
+
+	maxSubs  int
+	maxBytes int64
+	linger   time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []pendingSub
+	closed  bool
+	done    chan struct{}
+
+	// take / subs are flusher-private scratch (single goroutine), reused
+	// across groups so a flush allocates only the group frame raft keeps.
+	take []pendingSub
+	subs [][]byte
+
+	// groups / batches feed CoalesceStats: batches/groups is the
+	// coalescing factor sustained-load runs report.
+	groups  atomic.Int64
+	batches atomic.Int64
+}
+
+// pendingSub is one queued append: its encoded sub-proposal plus the
+// channel its caller blocks on until the group's raft outcome is known.
+type pendingSub struct {
+	data []byte
+	done chan error
+}
+
+func newCoalescer(w *Worker, sh *Shard) *coalescer {
+	c := &coalescer{
+		w:        w,
+		sh:       sh,
+		maxSubs:  w.cfg.CoalesceMaxBatches,
+		maxBytes: w.cfg.CoalesceMaxBytes,
+		linger:   w.cfg.CoalesceLinger,
+		done:     make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.run()
+	return c
+}
+
+// append queues one encoded sub-proposal and blocks until its group
+// commits (or fails). Raft errors surface verbatim so the broker's
+// backpressure handling is unchanged. The caller owns both sub and done
+// again once append returns.
+func (c *coalescer) append(sub []byte, done chan error) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrWorkerDown
+	}
+	c.pending = append(c.pending, pendingSub{data: sub, done: done})
+	c.mu.Unlock()
+	c.cond.Signal()
+	return <-done
+}
+
+// close drains the queue and stops the flusher. Queued appends are
+// still flushed — their proposes fail fast once the worker is down —
+// and appends arriving after close are bounced without queueing, so no
+// caller is left blocked.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.cond.Signal()
+	<-c.done
+}
+
+func (c *coalescer) run() {
+	defer close(c.done)
+	for {
+		c.mu.Lock()
+		for len(c.pending) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if len(c.pending) == 0 {
+			c.mu.Unlock()
+			return // closed and drained
+		}
+		c.mu.Unlock()
+		if c.linger > 0 {
+			timeSleep(c.linger)
+		}
+		group := c.takeGroup()
+		err := c.w.proposeGroup(c.sh, c.encodeGroup(group))
+		c.groups.Add(1)
+		c.batches.Add(int64(len(group)))
+		for i := range group {
+			group[i].done <- err
+			group[i] = pendingSub{}
+		}
+	}
+}
+
+// takeGroup pops the next group off the queue: up to maxSubs batches
+// and (once at least one is taken) at most maxBytes of encoded payload.
+// What doesn't fit stays queued for the next flush.
+func (c *coalescer) takeGroup() []pendingSub {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, sz := 0, int64(0)
+	for n < len(c.pending) {
+		if c.maxSubs > 0 && n >= c.maxSubs {
+			break
+		}
+		sz += int64(len(c.pending[n].data))
+		n++
+		if c.maxBytes > 0 && sz >= c.maxBytes {
+			break
+		}
+	}
+	group := append(c.take[:0], c.pending[:n]...)
+	c.take = group
+	rest := copy(c.pending, c.pending[n:])
+	for i := rest; i < len(c.pending); i++ {
+		c.pending[i] = pendingSub{} // release sub buffers back to callers
+	}
+	c.pending = c.pending[:rest]
+	return group
+}
+
+// encodeGroup frames the group's subs into one proposal buffer. Only
+// that buffer is freshly allocated (raft retains it); the sub slice is
+// flusher-private scratch.
+func (c *coalescer) encodeGroup(group []pendingSub) []byte {
+	subs := c.subs[:0]
+	for _, p := range group {
+		subs = append(subs, p.data)
+	}
+	out := EncodeGroupProposal(subs)
+	for i := range subs {
+		subs[i] = nil
+	}
+	c.subs = subs[:0]
+	return out
+}
+
+// stats returns proposals issued and client batches carried since start.
+func (c *coalescer) stats() (groups, batches int64) {
+	return c.groups.Load(), c.batches.Load()
+}
+
+// doneChanPool recycles the per-append ack channels; each is used for
+// exactly one send/receive pair before returning to the pool.
+var doneChanPool = sync.Pool{New: func() any {
+	return make(chan error, 1)
+}}

@@ -1,0 +1,179 @@
+package worker
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"logstore/internal/bitutil"
+	"logstore/internal/schema"
+)
+
+// Proposal wire format (the payload of one raft entry): a *group* of
+// client batches committed together.
+//
+//	group := uvarint(nsubs) { uvarint(len(sub)) sub }*
+//	sub   := 8-byte big-endian batch id ++ batch
+//	batch := uvarint(nrows) row*
+//
+// Every proposal is a group — an uncoalesced append is a group of one —
+// so the state machine has a single decode path. Each sub keeps its own
+// content-derived batch id: coalescing changes which raft entry a batch
+// rides in, never its dedup identity, so a batch retried after an
+// ambiguous outcome (leader died between commit and ack) is suppressed
+// whether it recommits grouped with different neighbors or alone.
+
+// maxGroupSubs bounds group framing against corrupt input; real groups
+// are capped far lower by Config.CoalesceMaxBatches.
+const maxGroupSubs = 1 << 20
+
+// BatchID derives the content-addressed identity of an encoded batch:
+// the FNV-64a hash of its EncodeBatch bytes. Identical content maps to
+// an identical id, which is what lets a shard suppress a batch retried
+// after an ambiguous outcome.
+func BatchID(encoded []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(encoded)
+	return h.Sum64()
+}
+
+// batchSize returns the exact EncodeBatch output size for rows, so
+// encode buffers are sized once instead of grown.
+func batchSize(rows []schema.Row) int {
+	n := bitutil.UvarintLen(uint64(len(rows)))
+	for _, r := range rows {
+		n += r.EncodedSize()
+	}
+	return n
+}
+
+func appendBatch(dst []byte, rows []schema.Row) []byte {
+	dst = bitutil.AppendUvarint(dst, uint64(len(rows)))
+	for _, r := range rows {
+		dst = r.AppendTo(dst)
+	}
+	return dst
+}
+
+// EncodeBatch serializes a row batch for raft replication, pre-sized to
+// a single allocation.
+func EncodeBatch(rows []schema.Row) []byte {
+	return appendBatch(make([]byte, 0, batchSize(rows)), rows)
+}
+
+// AppendSubProposal appends one sub-proposal (batch id ++ batch) to
+// dst, growing it at most once. The id is computed over the batch bytes
+// just written, so the hole is backfilled after encoding.
+func AppendSubProposal(dst []byte, rows []schema.Row) []byte {
+	need := 8 + batchSize(rows)
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	off := len(dst)
+	var idHole [8]byte
+	dst = append(dst, idHole[:]...)
+	dst = appendBatch(dst, rows)
+	binary.BigEndian.PutUint64(dst[off:off+8], BatchID(dst[off+8:]))
+	return dst
+}
+
+// EncodeGroupProposal frames encoded subs into one raft proposal. The
+// returned buffer is handed to raft, which retains it — it must never
+// come from a pool (the subs may: they are copied here).
+func EncodeGroupProposal(subs [][]byte) []byte {
+	n := bitutil.UvarintLen(uint64(len(subs)))
+	for _, s := range subs {
+		n += bitutil.UvarintLen(uint64(len(s))) + len(s)
+	}
+	out := make([]byte, 0, n)
+	out = bitutil.AppendUvarint(out, uint64(len(subs)))
+	for _, s := range subs {
+		out = bitutil.AppendLenBytes(out, s)
+	}
+	return out
+}
+
+// ForEachSub iterates a group proposal without copying: fn sees each
+// sub's batch id and its encoded batch (aliasing data). Iteration stops
+// on the first error from fn or from the framing.
+func ForEachSub(data []byte, fn func(bid uint64, batch []byte) error) error {
+	n, off, err := bitutil.Uvarint(data)
+	if err != nil {
+		return fmt.Errorf("worker: group size: %w", err)
+	}
+	if n > maxGroupSubs {
+		return fmt.Errorf("worker: implausible group size %d", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		sub, c, err := bitutil.LenBytes(data[off:])
+		if err != nil {
+			return fmt.Errorf("worker: group sub %d: %w", i, err)
+		}
+		if len(sub) < 8 {
+			return fmt.Errorf("worker: group sub %d too short (%d bytes)", i, len(sub))
+		}
+		off += c
+		if err := fn(binary.BigEndian.Uint64(sub), sub[8:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeBatch reverses EncodeBatch.
+func DecodeBatch(data []byte) ([]schema.Row, error) {
+	return decodeBatchInto(nil, data)
+}
+
+// decodeBatchInto appends the batch's rows to rows (which may come from
+// rowScratchPool: the row store retains the Row values, never the outer
+// slice). On error it returns the partially-filled slice so a pooled
+// caller can still nil out the Row references it accumulated.
+func decodeBatchInto(rows []schema.Row, data []byte) ([]schema.Row, error) {
+	n, off, err := bitutil.Uvarint(data)
+	if err != nil {
+		return rows, fmt.Errorf("worker: batch count: %w", err)
+	}
+	if n > 1<<24 {
+		return rows, fmt.Errorf("worker: implausible batch size %d", n)
+	}
+	if rows == nil {
+		rows = make([]schema.Row, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		r, c, err := schema.DecodeRow(data[off:])
+		if err != nil {
+			return rows, fmt.Errorf("worker: batch row %d: %w", i, err)
+		}
+		off += c
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// subBufPool recycles sub-proposal encode buffers. A sub is copied into
+// the group frame before propose, so the buffer returns to the pool as
+// soon as the append that owns it is acked.
+var subBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// rowScratchPool recycles the outer row slice used to decode a sub on
+// apply. Callers must nil the Row entries before putting the slice back
+// so pooled slices don't pin applied rows.
+var rowScratchPool = sync.Pool{New: func() any {
+	s := make([]schema.Row, 0, 256)
+	return &s
+}}
+
+func putRowScratch(scratch *[]schema.Row, rows []schema.Row) {
+	for i := range rows {
+		rows[i] = nil
+	}
+	*scratch = rows[:0]
+	rowScratchPool.Put(scratch)
+}

@@ -8,10 +8,8 @@
 package worker
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -76,6 +74,18 @@ type Config struct {
 	// RaftApplyQueueItems / RaftApplyQueueBytes bound the apply_queue.
 	RaftApplyQueueItems int
 	RaftApplyQueueBytes int64
+	// CoalesceMaxBatches / CoalesceMaxBytes cap how many client batches
+	// and how much encoded payload one group proposal carries (0 selects
+	// 64 batches / 1 MiB).
+	CoalesceMaxBatches int
+	CoalesceMaxBytes   int64
+	// CoalesceLinger optionally holds a group open to accumulate more
+	// batches before proposing. Zero means natural batching only: a
+	// group is whatever arrived while the previous propose was in
+	// flight, so a lone append pays no added latency.
+	CoalesceLinger time.Duration
+	// CoalesceDisabled reverts to one raft proposal per append.
+	CoalesceDisabled bool
 }
 
 // ErrWorkerDown is returned by Append and the query entry points after
@@ -98,11 +108,33 @@ type Shard struct {
 	// seal: a drain seals rs and snapshots `applied` under it, so the
 	// archived row set and the checkpointed raft index agree exactly.
 	applyMu sync.Mutex
-	// seen suppresses duplicate batches: every proposal carries a
+	// seen suppresses duplicate batches: every sub-proposal carries a
 	// content-derived batch id, so a batch retried after an ambiguous
 	// outcome (leader died between commit and ack) applies once even if
-	// it commits at two raft indexes.
+	// it commits at two raft indexes (or inside two different groups).
 	seen *dedupSet
+	// co merges concurrent appends into group proposals; nil when the
+	// shard is unreplicated or coalescing is disabled.
+	co *coalescer
+	// Apply-path observability. decodeFails / appendFails count subs
+	// replica 0 could not apply — both should stay zero outside crash
+	// tests, and a nonzero value means acked rows were dropped (the
+	// soak gate asserts on them). dedupSkips counts subs suppressed as
+	// content-addressed duplicates; legitimate only when ambiguous
+	// outcomes force retries (leadership churn, worker failover).
+	decodeFails atomic.Int64
+	appendFails atomic.Int64
+	dedupSkips  atomic.Int64
+	// appliedRows counts rows replica 0 inserted into the serving row
+	// store; comparing it against acked and archived+resident totals
+	// localizes a loss to the raft/apply side or the archive side.
+	appliedRows atomic.Int64
+	// frameFails counts entries whose group framing failed to decode
+	// (subs after the corrupt point are silently lost); staleSkips
+	// counts entries dropped by the index<=applied replay guard. Both
+	// must be zero outside crash recovery.
+	frameFails atomic.Int64
+	staleSkips atomic.Int64
 }
 
 // raftGroup bundles the in-process replica set of one shard. Individual
@@ -129,6 +161,17 @@ func (g *raftGroup) leader() *raft.Node {
 		}
 	}
 	return nil
+}
+
+// serving returns replica 0's live node — the replica whose state
+// machine feeds the serving row store — or nil if it is down.
+func (g *raftGroup) serving() *raft.Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.nodes) == 0 || g.stopped[0] {
+		return nil
+	}
+	return g.nodes[0]
 }
 
 // kill stops one replica's node (and its aux goroutine), leaving its
@@ -272,6 +315,12 @@ func New(cfg Config, sch *schema.Schema, store oss.Store, catalog *meta.Manager)
 	if cfg.ArchiveInterval <= 0 {
 		cfg.ArchiveInterval = time.Second
 	}
+	if cfg.CoalesceMaxBatches <= 0 {
+		cfg.CoalesceMaxBatches = 64
+	}
+	if cfg.CoalesceMaxBytes <= 0 {
+		cfg.CoalesceMaxBytes = 1 << 20
+	}
 	bc, err := cache.NewBlockCache(cache.BlockCacheConfig{
 		MemoryBytes: cfg.MemoryCacheBytes,
 		DiskBytes:   cfg.DiskCacheBytes,
@@ -365,18 +414,18 @@ func (w *Worker) AddShard(id flow.ShardID) error {
 				// client retry arriving after recovery must be a no-op.
 				// Entries above the mark are NOT preloaded — they replay
 				// through the state machine and register there.
+				preload := func(bid uint64, _ []byte) error {
+					sh.seen.Add(bid)
+					return nil
+				}
 				for _, e := range ws.ReplayedPrefix() {
-					if bid, _, err := DecodeProposal(e.Data); err == nil {
-						sh.seen.Add(bid)
-					}
+					_ = ForEachSub(e.Data, preload)
 				}
 				for _, e := range ws.Entries() {
 					if e.Index > mark {
 						break
 					}
-					if bid, _, err := DecodeProposal(e.Data); err == nil {
-						sh.seen.Add(bid)
-					}
+					_ = ForEachSub(e.Data, preload)
 				}
 			}
 			if err := w.startReplicaLocked(sh, g, raft.NodeID(i)); err != nil {
@@ -385,6 +434,9 @@ func (w *Worker) AddShard(id flow.ShardID) error {
 			}
 		}
 		sh.group = g
+		if !w.cfg.CoalesceDisabled {
+			sh.co = newCoalescer(w, sh)
+		}
 	}
 	w.shards[id] = sh
 	return nil
@@ -399,25 +451,52 @@ func (w *Worker) startReplicaLocked(sh *Shard, g *raftGroup, id raft.NodeID) err
 	var stopc chan struct{}
 	switch {
 	case i == 0:
-		// Replica 0's state machine is the serving row store.
+		// Replica 0's state machine is the serving row store. One raft
+		// entry carries a group of client batches; each sub applies (and
+		// dedups) independently, and the entry's index is marked applied
+		// only after every sub landed, so WAL replay after a crash
+		// re-presents a partially-applied group.
 		sm = raft.StateMachineFunc(func(index uint64, data []byte) {
 			sh.applyMu.Lock()
 			defer sh.applyMu.Unlock()
 			if index <= sh.applied.Load() {
-				return // replayed entry already applied (and archived)
+				// Replayed entry already applied (and archived). Outside
+				// WAL replay this must never fire: raft delivers strictly
+				// increasing indexes, so a hit here on a live node means
+				// an acked entry's rows are being dropped.
+				sh.staleSkips.Add(1)
+				return
 			}
-			bid, rows, err := DecodeProposal(data)
+			ok := true
+			err := ForEachSub(data, func(bid uint64, batch []byte) error {
+				if sh.seen.Contains(bid) {
+					// A retried batch that already applied at an earlier
+					// index: consume the sub without duplicating rows.
+					sh.dedupSkips.Add(1)
+					return nil
+				}
+				scratch := rowScratchPool.Get().(*[]schema.Row)
+				rows, derr := decodeBatchInto((*scratch)[:0], batch)
+				if derr != nil {
+					putRowScratch(scratch, rows)
+					sh.decodeFails.Add(1)
+					ok = false
+					return nil
+				}
+				if sh.rs.Append(rows...) == nil {
+					sh.seen.Add(bid)
+					sh.appliedRows.Add(int64(len(rows)))
+				} else {
+					sh.appendFails.Add(1)
+					ok = false
+				}
+				putRowScratch(scratch, rows)
+				return nil
+			})
 			if err != nil {
-				return
+				sh.frameFails.Add(1)
 			}
-			if sh.seen.Contains(bid) {
-				// A retried batch that already applied at an earlier
-				// index: consume the entry without duplicating rows.
-				sh.applied.Store(index)
-				return
-			}
-			if sh.rs.Append(rows...) == nil {
-				sh.seen.Add(bid)
+			if err == nil && ok {
 				sh.applied.Store(index)
 			}
 		})
@@ -430,18 +509,22 @@ func (w *Worker) startReplicaLocked(sh *Shard, g *raftGroup, id raft.NodeID) err
 			return err
 		}
 		sm = raft.StateMachineFunc(func(_ uint64, data []byte) {
-			_, rows, err := DecodeProposal(data)
-			if err != nil {
-				return
-			}
-			_ = standby.Append(rows...)
+			_ = ForEachSub(data, func(_ uint64, batch []byte) error {
+				scratch := rowScratchPool.Get().(*[]schema.Row)
+				rows, err := decodeBatchInto((*scratch)[:0], batch)
+				if err == nil {
+					_ = standby.Append(rows...)
+				}
+				putRowScratch(scratch, rows)
+				return nil
+			})
 		})
 		// Standby archive: release sealed standby segments so the
 		// replica's memory stays bounded. The loop dies with the node
 		// (kill/restart) or the worker, whichever first.
 		stopc = make(chan struct{})
 		go func() {
-			t := time.NewTicker(w.cfg.ArchiveInterval)
+			t := newWallTicker(w.cfg.ArchiveInterval)
 			defer t.Stop()
 			for {
 				select {
@@ -528,15 +611,50 @@ func (w *Worker) Append(shardID flow.ShardID, rows []schema.Row) error {
 			return fmt.Errorf("worker %d shard %d: row %d: %w", w.cfg.ID, shardID, i, err)
 		}
 	}
+	return w.appendValidated(sh, rows)
+}
+
+// AppendTrusted is Append without the per-row conformance pass: the
+// broker validates rows against the same schema before routing, and the
+// row store re-checks on insert, so the middle check is pure overhead on
+// the hot path. Callers that bypass the broker must use Append.
+func (w *Worker) AppendTrusted(shardID flow.ShardID, rows []schema.Row) error {
+	if w.down.Load() {
+		return ErrWorkerDown
+	}
+	sh, err := w.shard(shardID)
+	if err != nil {
+		return err
+	}
+	return w.appendValidated(sh, rows)
+}
+
+func (w *Worker) appendValidated(sh *Shard, rows []schema.Row) error {
 	if sh.group == nil {
 		return sh.rs.Append(rows...)
 	}
-	// The proposal envelope carries a content-derived batch id so the
-	// state machine can suppress the same batch committing twice (a
-	// retry after an ambiguous leader death).
-	data := EncodeProposal(EncodeBatch(rows))
-	// Find the leader; retry briefly across elections and replica kills.
-	deadline := time.Now().Add(5 * time.Second)
+	// Each sub-proposal carries a content-derived batch id so the state
+	// machine can suppress the same batch committing twice (a retry
+	// after an ambiguous leader death) even when coalescing regroups it.
+	bufp := subBufPool.Get().(*[]byte)
+	sub := AppendSubProposal((*bufp)[:0], rows)
+	var err error
+	if sh.co != nil {
+		done := doneChanPool.Get().(chan error)
+		err = sh.co.append(sub, done)
+		doneChanPool.Put(done)
+	} else {
+		err = w.proposeGroup(sh, EncodeGroupProposal([][]byte{sub}))
+	}
+	*bufp = sub[:0]
+	subBufPool.Put(bufp)
+	return err
+}
+
+// proposeGroup drives one group proposal through the shard's raft
+// leader, retrying briefly across elections and replica kills.
+func (w *Worker) proposeGroup(sh *Shard, data []byte) error {
+	deadline := timeNow().Add(5 * time.Second)
 	for {
 		if w.down.Load() {
 			return ErrWorkerDown
@@ -550,11 +668,78 @@ func (w *Worker) Append(shardID flow.ShardID, rows []schema.Row) error {
 			// ErrStopped: the leader was killed under us (chaos).
 			// Both retry against whoever gets elected next.
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("worker %d shard %d: no raft leader", w.cfg.ID, shardID)
+		if timeNow().After(deadline) {
+			return fmt.Errorf("worker %d shard %d: no raft leader", w.cfg.ID, sh.ID)
 		}
-		time.Sleep(2 * time.Millisecond)
+		timeSleep(2 * time.Millisecond)
 	}
+}
+
+// ApplyCounters aggregates the serving replicas' apply-path counters.
+// Every field except DedupSkips and AppliedRows must be zero in a
+// healthy cluster: each counts acked rows that were silently dropped.
+// DedupSkips counts content-addressed duplicate suppressions,
+// legitimate only when ambiguous outcomes force retries (leadership
+// churn, worker failover). AppliedRows is the total row count inserted
+// into serving row stores — comparing it against acked and
+// archived+resident totals localizes a loss to the raft/apply side or
+// the archive side.
+type ApplyCounters struct {
+	DecodeFails int64 // subs whose batch failed to decode
+	AppendFails int64 // subs whose rows the row store rejected
+	FrameFails  int64 // entries whose group framing failed mid-decode
+	StaleSkips  int64 // live entries dropped by the replay guard
+	DedupSkips  int64
+	AppliedRows int64
+}
+
+// Lost reports whether any counter indicates dropped acked rows.
+func (a ApplyCounters) Lost() bool {
+	return a.DecodeFails > 0 || a.AppendFails > 0 || a.FrameFails > 0 || a.StaleSkips > 0
+}
+
+// Add accumulates b into a.
+func (a *ApplyCounters) Add(b ApplyCounters) {
+	a.DecodeFails += b.DecodeFails
+	a.AppendFails += b.AppendFails
+	a.FrameFails += b.FrameFails
+	a.StaleSkips += b.StaleSkips
+	a.DedupSkips += b.DedupSkips
+	a.AppliedRows += b.AppliedRows
+}
+
+// ApplyStats sums the apply-path counters across shards.
+func (w *Worker) ApplyStats() ApplyCounters {
+	var out ApplyCounters
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	for _, sh := range w.shards {
+		out.Add(ApplyCounters{
+			DecodeFails: sh.decodeFails.Load(),
+			AppendFails: sh.appendFails.Load(),
+			FrameFails:  sh.frameFails.Load(),
+			StaleSkips:  sh.staleSkips.Load(),
+			DedupSkips:  sh.dedupSkips.Load(),
+			AppliedRows: sh.appliedRows.Load(),
+		})
+	}
+	return out
+}
+
+// CoalesceStats sums, across shards, how many raft proposals the
+// coalescers issued and how many client batches those carried; the
+// ratio is the shard-level group-commit factor.
+func (w *Worker) CoalesceStats() (groups, batches int64) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	for _, sh := range w.shards {
+		if sh.co != nil {
+			g, b := sh.co.stats()
+			groups += g
+			batches += b
+		}
+	}
+	return groups, batches
 }
 
 // QueryRealtime executes a query over one shard's row store (the
@@ -738,7 +923,7 @@ func (w *Worker) foldMatches(r *logblock.Reader, matched *bitutil.Bitset, q *que
 // archiveLoop drains every shard's row store on the archive cadence.
 func (w *Worker) archiveLoop() {
 	defer close(w.archiveDone)
-	ticker := time.NewTicker(w.cfg.ArchiveInterval)
+	ticker := newWallTicker(w.cfg.ArchiveInterval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -802,9 +987,40 @@ func (w *Worker) drainShardLocked(sh *Shard) error {
 	return nil
 }
 
+// barrierApply waits until replica 0 has applied everything the group
+// leader has committed. A proposal ack fires at quorum commit, but the
+// serving replica's state machine sees the entry asynchronously (often
+// from a follower position, via the next append or heartbeat) — so at
+// any instant there can be acked rows not yet in the row store. An
+// explicit flush promises "everything acked is archived"; sealing
+// before the serving replica catches up would silently miss those
+// in-flight rows. Best-effort with a deadline: if the group has no
+// leader (election in progress, replicas killed by chaos) the drain
+// proceeds with whatever has applied, exactly as before.
+func (w *Worker) barrierApply(sh *Shard) {
+	g := sh.group
+	if g == nil {
+		return
+	}
+	deadline := timeNow().Add(5 * time.Second)
+	for {
+		lead := g.leader()
+		serving := g.serving()
+		if lead != nil && serving != nil &&
+			serving.AppliedIndex() >= lead.Status().CommitIndex {
+			return
+		}
+		if serving == nil || timeNow().After(deadline) {
+			return
+		}
+		timeSleep(500 * time.Microsecond)
+	}
+}
+
 // FlushShard force-archives one shard's resident rows (used when a
 // rebalance removes the shard from a tenant's route: the paper flushes
-// to OSS instead of migrating data).
+// to OSS instead of migrating data). It barriers on the apply pipeline
+// first so rows committed-but-not-yet-applied make the drain.
 func (w *Worker) FlushShard(id flow.ShardID) error {
 	if w.down.Load() {
 		return ErrWorkerDown
@@ -813,6 +1029,7 @@ func (w *Worker) FlushShard(id flow.ShardID) error {
 	if err != nil {
 		return err
 	}
+	w.barrierApply(sh)
 	w.archiveMu.Lock()
 	defer w.archiveMu.Unlock()
 	return w.drainShardLocked(sh)
@@ -881,6 +1098,11 @@ func (w *Worker) shutdown(graceful bool) {
 		<-w.archiveDone
 		w.mu.Lock()
 		for _, sh := range w.shards {
+			if sh.co != nil {
+				// Drain queued appends first: their proposes fail fast
+				// now that down is set, unblocking every waiting caller.
+				sh.co.close()
+			}
 			if sh.group != nil {
 				sh.group.stop()
 			}
@@ -986,63 +1208,5 @@ func (w *Worker) ShardApplied(id flow.ShardID) (uint64, error) {
 	return sh.applied.Load(), nil
 }
 
-// BatchID derives the content-addressed identity of an encoded batch:
-// the FNV-64a hash of its EncodeBatch bytes. Identical content maps to
-// an identical id, which is what lets a shard suppress a batch retried
-// after an ambiguous outcome (leader died between commit and ack).
-func BatchID(encoded []byte) uint64 {
-	h := fnv.New64a()
-	h.Write(encoded)
-	return h.Sum64()
-}
-
-// EncodeProposal wraps an encoded batch in the raft proposal envelope:
-// an 8-byte big-endian batch id followed by the batch payload.
-func EncodeProposal(encoded []byte) []byte {
-	out := make([]byte, 8, 8+len(encoded))
-	binary.BigEndian.PutUint64(out, BatchID(encoded))
-	return append(out, encoded...)
-}
-
-// DecodeProposal splits a proposal envelope into its batch id and rows.
-func DecodeProposal(data []byte) (uint64, []schema.Row, error) {
-	if len(data) < 8 {
-		return 0, nil, fmt.Errorf("worker: proposal too short (%d bytes)", len(data))
-	}
-	rows, err := DecodeBatch(data[8:])
-	if err != nil {
-		return 0, nil, err
-	}
-	return binary.BigEndian.Uint64(data), rows, nil
-}
-
-// EncodeBatch serializes a row batch for raft replication.
-func EncodeBatch(rows []schema.Row) []byte {
-	var out []byte
-	out = bitutil.AppendUvarint(out, uint64(len(rows)))
-	for _, r := range rows {
-		out = r.AppendTo(out)
-	}
-	return out
-}
-
-// DecodeBatch reverses EncodeBatch.
-func DecodeBatch(data []byte) ([]schema.Row, error) {
-	n, off, err := bitutil.Uvarint(data)
-	if err != nil {
-		return nil, fmt.Errorf("worker: batch count: %w", err)
-	}
-	if n > 1<<24 {
-		return nil, fmt.Errorf("worker: implausible batch size %d", n)
-	}
-	rows := make([]schema.Row, 0, n)
-	for i := uint64(0); i < n; i++ {
-		r, c, err := schema.DecodeRow(data[off:])
-		if err != nil {
-			return nil, fmt.Errorf("worker: batch row %d: %w", i, err)
-		}
-		off += c
-		rows = append(rows, r)
-	}
-	return rows, nil
-}
+// Proposal encode/decode lives in proposal.go (group framing, batch
+// ids, pooled encode buffers).

@@ -150,6 +150,14 @@ type Config struct {
 	// RaftQueueItems bounds each shard's Raft sync/apply queues (BFC);
 	// 0 keeps raft defaults. Small values trip backpressure earlier.
 	RaftQueueItems int
+	// CoalesceMaxBatches / CoalesceMaxBytes / CoalesceLinger tune each
+	// shard's group-commit coalescer (0 = worker defaults: 64 batches,
+	// 1 MiB, no linger). CoalesceDisabled reverts to one raft proposal
+	// per append.
+	CoalesceMaxBatches int
+	CoalesceMaxBytes   int64
+	CoalesceLinger     time.Duration
+	CoalesceDisabled   bool
 	// HeartbeatInterval is the worker health-check cadence: each beat
 	// marks live workers up and advances the miss counter of silent
 	// ones (0 disables the loop — health stays optimistic).
@@ -257,14 +265,19 @@ func Open(cfg Config) (*Cluster, error) {
 		hbDone:     make(chan struct{}),
 	}
 	// Started before any fallible step: Close waits on the loop, and
-	// Open's error paths all go through Close.
+	// Open's error paths all go through Close. The loop reads c.workers
+	// under c.mu from its first tick, so the provisioning below must
+	// hold the write lock.
 	go c.heartbeatLoop()
+	c.mu.Lock()
 	for i := 0; i < cfg.Workers; i++ {
 		if _, err := c.addWorkerLocked(); err != nil {
+			c.mu.Unlock()
 			c.Close()
 			return nil, err
 		}
 	}
+	c.mu.Unlock()
 	bal := flow.DefaultBalancerConfig()
 	bal.TenantShardLimit = cfg.TenantShardLimit
 	ctrl, err := controller.New(controller.Config{
@@ -340,8 +353,9 @@ func (c *Cluster) heartbeatLoop() {
 	}
 }
 
-// addWorkerLocked provisions one worker with the configured shard count.
-// Callers hold no lock during Open; ScaleOut takes c.mu.
+// addWorkerLocked provisions one worker with the configured shard
+// count. Callers hold c.mu: the heartbeat loop reads the worker map
+// concurrently from the moment Open starts it.
 func (c *Cluster) addWorkerLocked() (*worker.Worker, error) {
 	id := c.nextWorker
 	c.nextWorker++
@@ -400,6 +414,10 @@ func (c *Cluster) newWorkerLocked(id flow.WorkerID) (*worker.Worker, error) {
 		DataDir:             dataDir,
 		RaftSyncQueueItems:  c.cfg.RaftQueueItems,
 		RaftApplyQueueItems: c.cfg.RaftQueueItems,
+		CoalesceMaxBatches:  c.cfg.CoalesceMaxBatches,
+		CoalesceMaxBytes:    c.cfg.CoalesceMaxBytes,
+		CoalesceLinger:      c.cfg.CoalesceLinger,
+		CoalesceDisabled:    c.cfg.CoalesceDisabled,
 	}, c.sch, c.store, c.catalog)
 	if err != nil {
 		return nil, err
@@ -491,11 +509,30 @@ func (c *Cluster) Append(rows ...Row) error {
 	if c.closed.Load() {
 		return fmt.Errorf("logstore: cluster closed")
 	}
-	for _, r := range rows {
-		c.ctrl.Scheduler().EnsureTenant(flow.TenantID(r.Tenant(c.sch)))
+	// Register unseen tenants under one scheduler lock instead of one
+	// per row; consecutive same-tenant rows (the common batch shape)
+	// collapse before even reaching the scheduler.
+	tidp := tenantIDScratch.Get().(*[]flow.TenantID)
+	tids := (*tidp)[:0]
+	for i, r := range rows {
+		t := flow.TenantID(r.Tenant(c.sch))
+		if i > 0 && t == tids[len(tids)-1] {
+			continue
+		}
+		tids = append(tids, t)
 	}
+	c.ctrl.Scheduler().EnsureTenants(tids)
+	*tidp = tids[:0]
+	tenantIDScratch.Put(tidp)
 	return c.broker().Append(rows)
 }
+
+// tenantIDScratch recycles the per-append tenant id list fed to
+// Scheduler.EnsureTenants.
+var tenantIDScratch = sync.Pool{New: func() any {
+	s := make([]flow.TenantID, 0, 128)
+	return &s
+}}
 
 // Query executes a SQL query (see internal/query for the dialect: the
 // paper's SELECT template plus COUNT(*), MATCH, GROUP BY, ORDER BY,
@@ -608,6 +645,40 @@ func (c *Cluster) RouteTable() flow.RouteTable {
 // Collector exposes the traffic monitor (experiments record synthetic
 // traffic through it).
 func (c *Cluster) Collector() *flow.Collector { return c.ctrl.Collector() }
+
+// ApplyStats sums the workers' apply-path counters (see
+// worker.ApplyCounters): silent-drop counters that must stay zero,
+// content-addressed duplicate suppressions, and the total rows the
+// serving replicas inserted into their row stores.
+func (c *Cluster) ApplyStats() worker.ApplyCounters {
+	var out worker.ApplyCounters
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, w := range c.workers {
+		if !w.Alive() {
+			continue
+		}
+		out.Add(w.ApplyStats())
+	}
+	return out
+}
+
+// CoalesceStats sums, across live workers, how many raft proposals the
+// shard coalescers issued and how many client batches those carried;
+// batches/groups is the cluster-wide group-commit factor.
+func (c *Cluster) CoalesceStats() (groups, batches int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, w := range c.workers {
+		if !w.Alive() {
+			continue
+		}
+		g, b := w.CoalesceStats()
+		groups += g
+		batches += b
+	}
+	return groups, batches
+}
 
 // Schema returns the cluster's table schema.
 func (c *Cluster) TableSchema() *Schema { return c.sch }
