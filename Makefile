@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 CHAOS_SEED ?= 2026
 
-.PHONY: check fmt vet build test race lint fuzz chaos chaos-short bench bench-all benchdiff soak soak-short clean
+.PHONY: check fmt vet build test race lint lint-baseline fuzz chaos chaos-short bench bench-all benchdiff soak soak-short soak-baseline clean
 
 ## check: the tier-1 gate — formatting, vet, build, race-enabled tests,
 ## plus the repo's own invariant linter, a short fuzz pass over every
@@ -28,9 +28,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-## lint: the project-specific invariant analyzers (internal/lint).
+## lint: the project-specific invariant analyzers (internal/lint),
+## with per-analyzer timing and finding counts. Findings recorded in
+## .lint-baseline pass; anything new — or any baseline entry the tree
+## no longer reproduces — fails.
 lint:
-	$(GO) run ./cmd/logstore-lint ./...
+	$(GO) run ./cmd/logstore-lint -stats ./...
+
+## lint-baseline: deliberately regenerate .lint-baseline from the
+## current findings. Only for consciously accepting legacy findings —
+## the goal state is an empty baseline.
+lint-baseline:
+	$(GO) run ./cmd/logstore-lint -write-baseline ./...
 
 ## fuzz: run every fuzz target for FUZZTIME each, starting from the
 ## checked-in seed corpora (regenerate those with `go run ./cmd/fuzzseed`).
@@ -69,8 +78,12 @@ bench:
 	$(GO) run ./cmd/benchjson < /tmp/bench_ingest.txt > BENCH_ingest.json
 
 ## benchdiff: re-measure the tracked benchmarks and fail on a >25%
-## ns/op or allocs/op regression against the committed baselines.
-benchdiff:
+## ns/op or allocs/op regression against the committed baselines,
+## then re-run the full soak and gate BENCH_soak.json throughput.
+benchdiff: benchdiff-micro benchdiff-soak
+
+.PHONY: benchdiff-micro benchdiff-soak
+benchdiff-micro:
 	$(GO) test -bench 'BenchmarkScan|BenchmarkMaterialize|BenchmarkCountStar' \
 		-benchmem -run '^$$' ./internal/query/ > /tmp/benchdiff_scan.txt
 	$(GO) run ./cmd/benchjson < /tmp/benchdiff_scan.txt > /tmp/benchdiff_scan.json
@@ -79,6 +92,12 @@ benchdiff:
 		-benchmem -benchtime 2s -run '^$$' . > /tmp/benchdiff_ingest.txt
 	$(GO) run ./cmd/benchjson < /tmp/benchdiff_ingest.txt > /tmp/benchdiff_ingest.json
 	$(GO) run ./cmd/benchdiff -base BENCH_ingest.json -new /tmp/benchdiff_ingest.json
+
+benchdiff-soak:
+	$(GO) run ./cmd/logstore-soak -tenants 2000 -duration 20s \
+		-writers 8 -readers 2 -out /tmp/benchdiff_soak.json
+	$(GO) run ./cmd/benchdiff -mode soak -max-regress 40 \
+		-base BENCH_soak.json -new /tmp/benchdiff_soak.json
 
 ## bench-all: every benchmark in the tree, one iteration (smoke).
 bench-all:
@@ -92,10 +111,22 @@ soak:
 	$(GO) run ./cmd/logstore-soak -tenants 2000 -duration 20s \
 		-writers 8 -readers 2 -out BENCH_soak.json
 
-## soak-short: the reduced soak folded into `make check`.
+## soak-short: the reduced soak folded into `make check`, gated
+## against the committed short baseline so throughput regressions fail
+## the tier-1 gate. The 50% tolerance absorbs 2s-run noise; real
+## regressions (a lost coalescer, serialized appends) cut throughput
+## by integer factors, not halves.
 soak-short:
 	$(GO) run ./cmd/logstore-soak -tenants 200 -duration 2s \
 		-writers 4 -readers 1 -out /tmp/bench_soak_short.json
+	$(GO) run ./cmd/benchdiff -mode soak -max-regress 50 \
+		-base BENCH_soak_short.json -new /tmp/bench_soak_short.json
+
+## soak-baseline: deliberately refresh the committed short-soak
+## baseline (commit the result alongside intentional perf changes).
+soak-baseline:
+	$(GO) run ./cmd/logstore-soak -tenants 200 -duration 2s \
+		-writers 4 -readers 1 -out BENCH_soak_short.json
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,17 @@
 // Benchmarks present in only one file are reported but not failing:
 // baselines grow as benchmarks are added. Improvements are printed so
 // a perf PR's wins are visible in the same output.
+//
+// -mode soak switches to the soak-report format (cmd/logstore-soak's
+// flat metrics JSON, BENCH_soak*.json) and gates the throughput
+// metrics, where lower — not higher — is the regression:
+//
+//	benchdiff -mode soak -base BENCH_soak_short.json -new /tmp/soak.json
+//
+// Soak runs are noisier than micro-benchmarks (zipfian load, raft
+// elections, wall-clock pacing), so the soak gate defaults to a wider
+// -max-regress; tune per call site rather than loosening the micro
+// gate.
 package main
 
 import (
@@ -47,15 +58,77 @@ func pct(base, cur float64) float64 {
 	return (cur - base) / base * 100
 }
 
+// soakGateKeys are the soak metrics the gate holds steady: sustained
+// throughput on both halves of the workload. Latency percentiles are
+// printed for context but not gated — a 2s short soak's p99 swings
+// too wildly to fail a build on.
+var soakGateKeys = []string{"rows_per_sec", "queries_per_sec"}
+
+var soakContextKeys = []string{"append_p50_ms", "append_p99_ms", "query_p50_ms", "query_p99_ms", "group_factor"}
+
+// loadSoak reads a logstore-soak flat metrics report.
+func loadSoak(path string) map[string]float64 {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	out := make(map[string]float64)
+	if err := json.Unmarshal(data, &out); err != nil {
+		fatal("%s: %v", path, err)
+	}
+	return out
+}
+
+// diffSoak gates the throughput keys: a drop beyond maxRegress percent
+// below the baseline fails.
+func diffSoak(basePath, newPath string, maxRegress float64) {
+	base := loadSoak(basePath)
+	cur := loadSoak(newPath)
+	failed := 0
+	for _, k := range soakGateKeys {
+		b, okB := base[k]
+		c, okC := cur[k]
+		if !okB || !okC {
+			fmt.Printf("SKIP %s: missing from %s\n", k, map[bool]string{false: basePath, true: newPath}[okB])
+			continue
+		}
+		drop := pct(b, c) // negative when throughput fell
+		verdict := "ok  "
+		if -drop > maxRegress {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %-18s %12.1f → %12.1f (%+6.1f%%)\n", verdict, k, b, c, drop)
+	}
+	for _, k := range soakContextKeys {
+		if b, ok := base[k]; ok {
+			if c, ok := cur[k]; ok {
+				fmt.Printf("info %-18s %12.3f → %12.3f (%+6.1f%%)\n", k, b, c, pct(b, c))
+			}
+		}
+	}
+	if failed > 0 {
+		fatal("%d soak metric(s) dropped more than %.0f%%", failed, maxRegress)
+	}
+}
+
 func main() {
 	var (
 		basePath   = flag.String("base", "", "committed baseline JSON (required)")
 		newPath    = flag.String("new", "", "freshly measured JSON (required)")
 		maxRegress = flag.Float64("max-regress", 25, "max tolerated regression, percent")
+		mode       = flag.String("mode", "bench", "report format: bench (benchjson micro) or soak (logstore-soak metrics)")
 	)
 	flag.Parse()
 	if *basePath == "" || *newPath == "" {
-		fatal("usage: benchdiff -base BENCH_x.json -new /tmp/new.json [-max-regress 25]")
+		fatal("usage: benchdiff [-mode bench|soak] -base BENCH_x.json -new /tmp/new.json [-max-regress 25]")
+	}
+	if *mode == "soak" {
+		diffSoak(*basePath, *newPath, *maxRegress)
+		return
+	}
+	if *mode != "bench" {
+		fatal("unknown -mode %q (want bench or soak)", *mode)
 	}
 	base := load(*basePath)
 	cur := load(*newPath)

@@ -188,12 +188,12 @@ func (b *Broker) appendTenant(tenant int64, batch []schema.Row) error {
 			lastErr = err
 		}
 		if deadline.IsZero() {
-			deadline = time.Now().Add(window)
-		} else if time.Now().After(deadline) {
+			deadline = timeNow().Add(window)
+		} else if timeNow().After(deadline) {
 			return fmt.Errorf("broker: append tenant %d: no live route: %w", tenant, lastErr)
 		}
 		b.reroutes.Inc()
-		time.Sleep(5 * time.Millisecond)
+		timeSleep(5 * time.Millisecond)
 	}
 }
 
@@ -353,7 +353,7 @@ func (b *Broker) runBlockSet(paths []string, q *query.Query, candidates []flow.W
 	go attempt(candidates[0])
 	var hedge <-chan time.Time
 	if b.cfg.HedgeDelay > 0 && len(candidates) > 1 {
-		t := time.NewTimer(b.cfg.HedgeDelay)
+		t := newWallTimer(b.cfg.HedgeDelay)
 		defer t.Stop()
 		hedge = t.C
 	}

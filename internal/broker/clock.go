@@ -1,0 +1,18 @@
+package broker
+
+import "time"
+
+// This file is the package's clock seam — the single place the broker
+// touches the wall clock. The append retry window, its backoff pacing,
+// and the hedged-read delay timer all route through these
+// indirections, so tests can pin time and the wallclock analyzer can
+// enforce that no other file in the package reads the clock.
+
+var (
+	// timeNow / timeSleep back the append retry deadline and backoff.
+	timeNow   = time.Now
+	timeSleep = time.Sleep
+)
+
+// newWallTimer backs the hedged-read delay.
+func newWallTimer(d time.Duration) *time.Timer { return time.NewTimer(d) }

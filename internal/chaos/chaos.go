@@ -178,7 +178,7 @@ func Run(tg Target, cfg Config) (*Report, error) {
 			default:
 			}
 			batch := gen.Batch(cfg.BatchRows)
-			deadline := time.Now().Add(60 * time.Second)
+			deadline := timeNow().Add(60 * time.Second)
 			for {
 				err := tg.Append(batch...)
 				if err == nil {
@@ -187,13 +187,13 @@ func Run(tg Target, cfg Config) (*Report, error) {
 				mu.Lock()
 				rep.AppendRetries++
 				mu.Unlock()
-				if time.Now().After(deadline) {
+				if timeNow().After(deadline) {
 					mu.Lock()
 					ingestErr = fmt.Errorf("chaos: batch never acked: %w", err)
 					mu.Unlock()
 					return
 				}
-				time.Sleep(2 * time.Millisecond)
+				timeSleep(2 * time.Millisecond)
 			}
 			mu.Lock()
 			for _, r := range batch {
@@ -222,22 +222,22 @@ func Run(tg Target, cfg Config) (*Report, error) {
 			tenant := int64(i % cfg.Tenants)
 			sql := fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s = %d AND %s >= 0",
 				sch.Name, sch.TenantCol, tenant, sch.TimeCol)
-			deadline := time.Now().Add(10 * time.Second)
+			deadline := timeNow().Add(10 * time.Second)
 			for {
 				if _, err := tg.Query(sql); err == nil {
 					break
-				} else if time.Now().After(deadline) {
+				} else if timeNow().After(deadline) {
 					mu.Lock()
 					queryErr = fmt.Errorf("chaos: query for tenant %d never answered: %w", tenant, err)
 					mu.Unlock()
 					return
 				}
-				time.Sleep(2 * time.Millisecond)
+				timeSleep(2 * time.Millisecond)
 			}
 			mu.Lock()
 			rep.Queries++
 			mu.Unlock()
-			time.Sleep(time.Millisecond)
+			timeSleep(time.Millisecond)
 		}
 	}()
 
@@ -252,7 +252,7 @@ func Run(tg Target, cfg Config) (*Report, error) {
 				faultErr = fmt.Errorf("chaos: crash worker %d: %w", ev.worker, err)
 				break
 			}
-			time.Sleep(cfg.RecoverAfter)
+			timeSleep(cfg.RecoverAfter)
 			if err := tg.RecoverWorker(ev.worker); err != nil {
 				faultErr = fmt.Errorf("chaos: recover worker %d: %w", ev.worker, err)
 				break
@@ -262,20 +262,20 @@ func Run(tg Target, cfg Config) (*Report, error) {
 			// Retry: the group may be mid-election from a prior fault.
 			var killed raft.NodeID
 			var err error
-			killDeadline := time.Now().Add(5 * time.Second)
+			killDeadline := timeNow().Add(5 * time.Second)
 			for {
 				killed, err = tg.KillShardLeader(ev.shard)
-				if err == nil || time.Now().After(killDeadline) {
+				if err == nil || timeNow().After(killDeadline) {
 					break
 				}
-				time.Sleep(5 * time.Millisecond)
+				timeSleep(5 * time.Millisecond)
 			}
 			if err != nil {
 				faultErr = fmt.Errorf("chaos: kill leader of shard %d: %w", ev.shard, err)
 				break
 			}
 			logf("chaos: killed leader replica %d of shard %d", killed, ev.shard)
-			time.Sleep(cfg.RecoverAfter)
+			timeSleep(cfg.RecoverAfter)
 			if err := tg.RestartShardReplica(ev.shard, killed); err != nil {
 				faultErr = fmt.Errorf("chaos: restart replica %d of shard %d: %w", killed, ev.shard, err)
 				break
@@ -287,7 +287,7 @@ func Run(tg Target, cfg Config) (*Report, error) {
 				faultErr = fmt.Errorf("chaos: partition shard %d: %w", ev.shard, err)
 				break
 			}
-			time.Sleep(cfg.RecoverAfter)
+			timeSleep(cfg.RecoverAfter)
 			if err := tg.HealShard(ev.shard); err != nil {
 				faultErr = fmt.Errorf("chaos: heal shard %d: %w", ev.shard, err)
 				break
@@ -297,7 +297,7 @@ func Run(tg Target, cfg Config) (*Report, error) {
 		if faultErr != nil {
 			break
 		}
-		time.Sleep(cfg.RecoverAfter / 2)
+		timeSleep(cfg.RecoverAfter / 2)
 	}
 
 	// Final sweep: heal and restart everything so in-flight retries can
@@ -342,7 +342,7 @@ func VerifyCounts(tg Target, sch *schema.Schema, acked map[int64]int64, timeout 
 	if sch == nil {
 		sch = schema.RequestLogSchema()
 	}
-	deadline := time.Now().Add(timeout)
+	deadline := timeNow().Add(timeout)
 	for {
 		mismatch := ""
 		for tenant, want := range acked {
@@ -362,9 +362,9 @@ func VerifyCounts(tg Target, sch *schema.Schema, acked map[int64]int64, timeout 
 		if mismatch == "" {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if timeNow().After(deadline) {
 			return fmt.Errorf("chaos: exactly-once violated: %s", mismatch)
 		}
-		time.Sleep(10 * time.Millisecond)
+		timeSleep(10 * time.Millisecond)
 	}
 }

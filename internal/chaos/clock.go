@@ -1,0 +1,14 @@
+package chaos
+
+import "time"
+
+// This file is the package's clock seam — the single place the chaos
+// harness touches the wall clock. Ingest/query pacing, kill/recover
+// dwell times, and convergence deadlines route through these
+// indirections, so a harness run can be driven on a pinned clock and
+// the wallclock analyzer keeps every other file deterministic.
+
+var (
+	timeNow   = time.Now
+	timeSleep = time.Sleep
+)

@@ -1,0 +1,14 @@
+package httpapi
+
+import "time"
+
+// This file is the package's clock seam — the single place the HTTP
+// surface touches the wall clock. Ingest timestamp defaulting and
+// query latency accounting route through these indirections, so
+// handler tests can pin time and the wallclock analyzer can enforce
+// that no other file in the package reads the clock.
+
+var (
+	timeNow   = time.Now
+	timeSince = time.Since
+)

@@ -84,7 +84,7 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rows := make([]logstore.Row, len(recs))
-	now := time.Now().UnixMilli()
+	now := timeNow().UnixMilli()
 	for i, rec := range recs {
 		rows[i] = rec.Row(now)
 	}
@@ -106,7 +106,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	start := time.Now()
+	start := timeNow()
 	res, err := s.cluster.Query(string(sqlBytes))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -115,7 +115,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp := QueryResponse{
 		Columns: res.Columns,
 		Count:   res.Count,
-		TookMS:  float64(time.Since(start).Microseconds()) / 1000,
+		TookMS:  float64(timeSince(start).Microseconds()) / 1000,
 	}
 	for _, row := range res.Rows {
 		out := make([]string, len(row))

@@ -8,6 +8,10 @@ func All() []*Analyzer {
 		ErrCloseAnalyzer,
 		WallClockAnalyzer,
 		BoxedValueAnalyzer,
+		PoolEscapeAnalyzer,
+		ArenaRefAnalyzer,
+		LockOrderAnalyzer,
+		GoLeakAnalyzer,
 	}
 }
 

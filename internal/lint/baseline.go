@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is the committed ledger of accepted legacy findings
+// (.lint-baseline at the module root). New findings fail the build;
+// baselined ones pass silently; a baseline entry no new run reproduces
+// is itself an error, so the file can only shrink honestly. Entries
+// are keyed by analyzer, module-relative file, and message — line
+// numbers are deliberately excluded so unrelated edits above a finding
+// don't churn the ledger. Duplicate keys carry a count: a baseline
+// with N copies of a key absorbs at most N findings.
+type Baseline struct {
+	counts map[string]int
+}
+
+// ParseBaseline reads the textual form: one tab-separated
+// analyzer/file/message triple per line, '#' comments and blank lines
+// skipped.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	b := &Baseline{counts: make(map[string]int)}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		if strings.Count(line, "\t") != 2 {
+			return nil, fmt.Errorf("lint: baseline line %d: want `analyzer<TAB>file<TAB>message`", i+1)
+		}
+		b.counts[line]++
+	}
+	return b, nil
+}
+
+// FormatBaseline renders findings as baseline file content, sorted
+// for stable diffs. root is the module root findings' filenames are
+// made relative to.
+func FormatBaseline(findings []Finding, root string) []byte {
+	lines := make([]string, 0, len(findings))
+	for _, f := range findings {
+		lines = append(lines, baselineKey(f, root))
+	}
+	sort.Strings(lines)
+	var sb strings.Builder
+	sb.WriteString("# logstore lint baseline: accepted legacy findings, one per line\n")
+	sb.WriteString("# (analyzer<TAB>file<TAB>message). Regenerate with `make lint-baseline`.\n")
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteString("\n")
+	}
+	return []byte(sb.String())
+}
+
+// Filter splits findings into fresh ones (not absorbed by the
+// baseline) and reports baseline entries that matched nothing (stale).
+func (b *Baseline) Filter(findings []Finding, root string) (fresh []Finding, stale []string) {
+	remaining := make(map[string]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	for _, f := range findings {
+		k := baselineKey(f, root)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for k, n := range remaining {
+		for ; n > 0; n-- {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, stale
+}
+
+func baselineKey(f Finding, root string) string {
+	file := f.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return f.Analyzer + "\t" + file + "\t" + f.Message
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// Directive support: `//lint:ignore <analyzer> <reason>` suppresses
+// that analyzer's findings on the directive's own line (trailing
+// comment) or the line directly below (standalone comment). The
+// machinery polices itself three ways — a directive with no analyzer
+// or no reason, one naming an analyzer that does not exist, and one
+// that suppressed nothing in a run that included its analyzer (stale)
+// are each findings in their own right, reported under the pseudo
+// analyzer name "directive". Suppression is deliberately expensive to
+// hold: a stale ignore fails the build just like the finding it once
+// excused, so directives cannot rot in place.
+
+const directivePrefix = "//lint:ignore"
+
+// directiveName is the pseudo-analyzer findings about directives
+// themselves are attributed to.
+const directiveName = "directive"
+
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	bad      string // non-empty: malformed/unknown, with the message
+	used     bool
+}
+
+// collectDirectives extracts every //lint:ignore comment from the
+// loaded sources.
+func collectDirectives(pkgs []*Package) []*directive {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []*directive
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
+					d := &directive{pos: pkg.fset.Position(c.Pos())}
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) < 2:
+						d.bad = "malformed //lint:ignore: need `//lint:ignore <analyzer> <reason>`"
+					case !known[fields[0]]:
+						d.bad = fmt.Sprintf("//lint:ignore names unknown analyzer %q", fields[0])
+					default:
+						d.analyzer = fields[0]
+						d.reason = strings.Join(fields[1:], " ")
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applyDirectives filters findings through the directives and appends
+// findings for malformed and stale directives. Staleness is only
+// judged against analyzers that actually ran: `-only poolescape` must
+// not condemn a lockorder ignore it never gave a chance to match.
+func applyDirectives(findings []Finding, dirs []*directive, ran []*Analyzer) []Finding {
+	if len(dirs) == 0 {
+		return findings
+	}
+	ranNames := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		ranNames[a.Name] = true
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range dirs {
+			if d.bad != "" || d.analyzer != f.Analyzer || d.pos.Filename != f.Pos.Filename {
+				continue
+			}
+			if f.Pos.Line == d.pos.Line || f.Pos.Line == d.pos.Line+1 {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, d := range dirs {
+		switch {
+		case d.bad != "":
+			kept = append(kept, Finding{Pos: d.pos, Analyzer: directiveName, Message: d.bad})
+		case !d.used && ranNames[d.analyzer]:
+			kept = append(kept, Finding{
+				Pos:      d.pos,
+				Analyzer: directiveName,
+				Message:  fmt.Sprintf("stale //lint:ignore %s: no finding here to suppress — remove it", d.analyzer),
+			})
+		}
+	}
+	return kept
+}

@@ -10,10 +10,23 @@
 //     mutex is held
 //   - errclose:   error returns of Close/Flush/Sync/Put are not silently
 //     dropped
-//   - wallclock:  deterministic packages do not read the wall clock
+//   - wallclock:  clock-disciplined packages do not read the wall clock
 //     outside their clock seam
 //   - boxedvalue: scan paths stay on the typed-vector API instead of the
 //     boxed []schema.Value compatibility shim
+//   - poolescape: sync.Pool values are never used, stored, returned, or
+//     sent after the matching Put (flow-sensitive, dataflow.go)
+//   - arenaref:   arena-backed vector views never outlive their vector
+//     (flow-sensitive, dataflow.go)
+//   - lockorder:  the whole-tree mutex acquisition graph is acyclic
+//     (module-wide, RunModule)
+//   - goleak:     every go statement has a reachable stop path
+//
+// `//lint:ignore <analyzer> <reason>` suppresses a finding on its own
+// or the next line; malformed, unknown-analyzer, and stale ignores are
+// findings themselves (directive.go). Accepted legacy findings live in
+// the committed .lint-baseline (baseline.go), where stale entries also
+// fail — the ledger can only shrink honestly.
 //
 // The cmd/logstore-lint driver runs every analyzer over the module and
 // is part of `make check`.
@@ -26,9 +39,13 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
-// Analyzer is one named invariant check.
+// Analyzer is one named invariant check. Exactly one of Run and
+// RunModule is set: Run sees one package at a time, RunModule sees
+// every loaded package at once (for whole-module properties like the
+// lock-acquisition graph, which no single package can prove acyclic).
 type Analyzer struct {
 	// Name identifies the analyzer in findings and -run filters.
 	Name string
@@ -36,6 +53,9 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunModule inspects all packages of the run together; findings are
+	// reported through whichever pass owns the relevant file.
+	RunModule func([]*Pass)
 }
 
 // Pass carries one analyzer's view of one package.
@@ -90,18 +110,39 @@ func (p *Pass) Filename(pos token.Pos) string {
 	return name
 }
 
+// Stat records one analyzer's cost and yield over a run, for the
+// driver's per-analyzer summary.
+type Stat struct {
+	Name     string
+	Duration time.Duration
+	Findings int
+}
+
 // Run applies the given analyzers to the given packages and returns
-// the findings sorted by position. Packages with parse or type errors
+// the findings sorted by position, after honoring any //lint:ignore
+// directives in the sources. Packages with parse or type errors
 // contribute an error instead of being analyzed: analyzers must only
 // ever see fully resolved type information.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	var findings []Finding
+	findings, _, err := RunStats(pkgs, analyzers)
+	return findings, err
+}
+
+// RunStats is Run plus per-analyzer timing and finding counts.
+func RunStats(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Stat, error) {
 	for _, pkg := range pkgs {
 		if len(pkg.Errors) > 0 {
-			return nil, fmt.Errorf("lint: %s: %v", pkg.Path, pkg.Errors[0])
+			return nil, nil, fmt.Errorf("lint: %s: %v", pkg.Path, pkg.Errors[0])
 		}
-		for _, a := range analyzers {
-			pass := &Pass{
+	}
+	var findings []Finding
+	stats := make([]Stat, 0, len(analyzers))
+	for _, a := range analyzers {
+		start := time.Now()
+		before := len(findings)
+		passes := make([]*Pass, 0, len(pkgs))
+		for _, pkg := range pkgs {
+			passes = append(passes, &Pass{
 				Analyzer: a,
 				Fset:     pkgFset(pkg),
 				Path:     pkg.Path,
@@ -109,10 +150,32 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Info:     pkg.Info,
 				Files:    pkg.Files,
 				report:   func(f Finding) { findings = append(findings, f) },
-			}
-			a.Run(pass)
+			})
 		}
+		if a.RunModule != nil {
+			a.RunModule(passes)
+		} else {
+			for _, pass := range passes {
+				a.Run(pass)
+			}
+		}
+		stats = append(stats, Stat{Name: a.Name, Duration: time.Since(start), Findings: len(findings) - before})
 	}
+	findings = applyDirectives(findings, collectDirectives(pkgs), analyzers)
+	for i := range stats {
+		n := 0
+		for _, f := range findings {
+			if f.Analyzer == stats[i].Name {
+				n++
+			}
+		}
+		stats[i].Findings = n
+	}
+	sortFindings(findings)
+	return findings, stats, nil
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -123,7 +186,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
 }
 
 // pkgFset recovers the FileSet used to load pkg. All packages from one

@@ -1,0 +1,604 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer upgrades lockio's per-function view of mutexes to
+// a whole-tree deadlock check: it builds the module's lock-acquisition
+// graph — an edge A→B whenever some goroutine can acquire mutex B
+// while holding mutex A — and reports every edge that participates in
+// a cycle. Two goroutines traversing a cycle's edges in opposite
+// order deadlock; a cycle-free graph admits a global lock order and
+// cannot.
+//
+// Mutex identity is structural, not syntactic: a mutex field is keyed
+// by its types.Object (sync.Mutex/RWMutex fields, embedded mutexes by
+// their embedded-field object, package-level mutex vars by their var
+// object), so `w.mu` in one function and `worker.mu` in another are
+// the same node, and the graph spans packages because the loader
+// shares one object space.
+//
+// Edges come from two places:
+//
+//   - Direct: B.Lock() reached while A is in the walker's held set
+//     (the same defer-aware, branch-cloning walk lockio uses).
+//   - Interprocedural: a call to function g while holding A adds
+//     A→mayLock(g), where mayLock is the transitive closure of "locks
+//     this function may acquire on the caller's stack" propagated over
+//     the module's static call graph to a fixed point. Goroutine
+//     bodies launched with `go` acquire their locks on a different
+//     stack, so they contribute their own direct edges but are
+//     excluded from mayLock.
+//
+// Same-mutex self-edges are reported only for an intra-function
+// re-lock of the syntactically identical expression (a guaranteed
+// self-deadlock: sync.Mutex is not reentrant); instance-crossing
+// self-edges (locking a sibling struct's same field) are suppressed —
+// field-keyed identity cannot tell instances apart.
+var LockOrderAnalyzer = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "the whole-tree mutex acquisition graph must be acyclic (global deadlock-freedom)",
+	RunModule: runLockOrder,
+}
+
+// mutexNode is one vertex of the acquisition graph.
+type mutexNode struct {
+	obj  types.Object // field var / package var / local var object
+	name string       // printable ("worker.Worker.mu")
+}
+
+// lockEdge is one recorded acquisition: to was locked while from held.
+type lockEdge struct {
+	from, to *mutexNode
+	pos      token.Pos
+	pass     *Pass
+}
+
+// lockFacts accumulates module-wide state across packages.
+type lockFacts struct {
+	nodes map[types.Object]*mutexNode
+	edges []lockEdge
+	// acquires: locks a function takes directly on its own stack.
+	acquires map[*types.Func]map[*mutexNode]bool
+	// calls: static module-internal callees (go-stmt bodies excluded).
+	calls map[*types.Func]map[*types.Func]bool
+	// heldCalls: calls made while holding a lock, expanded against
+	// mayLock after the fixed point.
+	heldCalls []heldCall
+}
+
+type heldCall struct {
+	held   *mutexNode
+	callee *types.Func
+	pos    token.Pos
+	pass   *Pass
+}
+
+func runLockOrder(passes []*Pass) {
+	facts := &lockFacts{
+		nodes:    make(map[types.Object]*mutexNode),
+		acquires: make(map[*types.Func]map[*mutexNode]bool),
+		calls:    make(map[*types.Func]map[*types.Func]bool),
+	}
+	for _, p := range passes {
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				fobj, _ := p.Info.Defs[fn.Name].(*types.Func)
+				w := &lockWalker{p: p, facts: facts, fn: fobj}
+				w.block(fn.Body, make(map[*mutexNode]lockHold))
+			}
+		}
+	}
+	facts.expandInterprocedural()
+	facts.reportCycles()
+}
+
+// lockHold records where and with which expression a mutex was taken.
+type lockHold struct {
+	pos  token.Pos
+	expr string
+}
+
+type lockWalker struct {
+	p     *Pass
+	facts *lockFacts
+	fn    *types.Func // nil inside go-stmt bodies (anonymous root)
+}
+
+func (w *lockWalker) block(b *ast.BlockStmt, held map[*mutexNode]lockHold) {
+	for _, s := range b.List {
+		w.stmt(s, held)
+	}
+}
+
+func cloneHeld(h map[*mutexNode]lockHold) map[*mutexNode]lockHold {
+	c := make(map[*mutexNode]lockHold, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (w *lockWalker) stmt(stmt ast.Stmt, held map[*mutexNode]lockHold) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the mutex held for the rest of the
+		// body (lockio's discipline). Other deferred calls are treated
+		// as calls under the current held set.
+		if node, kind := w.mutexTarget(s.Call); node != nil && (kind == "Unlock" || kind == "RUnlock") {
+			return
+		}
+		w.expr(s.Call, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.GoStmt:
+		// A goroutine body locks on its own stack: fresh held set, and
+		// its acquisitions belong to no enclosing function.
+		w.goBody(s.Call)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.block(s.Body, cloneHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, cloneHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		w.block(s.Body, cloneHeld(held))
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.block(s.Body, cloneHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		w.caseBodies(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		w.caseBodies(s.Body, held)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if comm, ok := c.(*ast.CommClause); ok {
+				sub := cloneHeld(held)
+				if comm.Comm != nil {
+					w.stmt(comm.Comm, sub)
+				}
+				for _, st := range comm.Body {
+					w.stmt(st, sub)
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		w.block(s, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	}
+}
+
+func (w *lockWalker) caseBodies(body *ast.BlockStmt, held map[*mutexNode]lockHold) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			sub := cloneHeld(held)
+			for _, st := range cc.Body {
+				w.stmt(st, sub)
+			}
+		}
+	}
+}
+
+func (w *lockWalker) expr(expr ast.Expr, held map[*mutexNode]lockHold) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal's body is attributed to the enclosing function
+			// (callbacks overwhelmingly run on the caller's stack), with
+			// a fresh held set for its own ordering.
+			w.block(n.Body, make(map[*mutexNode]lockHold))
+			return false
+		case *ast.CallExpr:
+			if node, kind := w.mutexTarget(n); node != nil {
+				switch kind {
+				case "Lock", "RLock":
+					w.acquire(n, node, held)
+				case "Unlock", "RUnlock":
+					delete(held, node)
+				}
+				return false
+			}
+			w.recordCall(n, held)
+		}
+		return true
+	})
+}
+
+// goBody analyzes a go-statement's callee as an anonymous root.
+func (w *lockWalker) goBody(call *ast.CallExpr) {
+	sub := &lockWalker{p: w.p, facts: w.facts, fn: nil}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		sub.block(lit.Body, make(map[*mutexNode]lockHold))
+		return
+	}
+	// go w.archiveLoop(): record nothing here — the named callee's own
+	// declaration walk covers its body as a root with an empty held set.
+	for _, a := range call.Args {
+		sub.expr(a, make(map[*mutexNode]lockHold))
+	}
+}
+
+// acquire records B locked under the current held set.
+func (w *lockWalker) acquire(call *ast.CallExpr, node *mutexNode, held map[*mutexNode]lockHold) {
+	exprStr := lockRecvString(call)
+	for from, h := range held {
+		if from == node {
+			// Same mutex object: only a re-lock of the identical
+			// expression is provably the same instance.
+			if h.expr == exprStr {
+				w.p.Reportf(call.Pos(), "%s locked at %s is locked again without an unlock (self-deadlock)",
+					node.name, w.p.Fset.Position(h.pos))
+			}
+			continue
+		}
+		w.facts.edges = append(w.facts.edges, lockEdge{from: from, to: node, pos: call.Pos(), pass: w.p})
+	}
+	held[node] = lockHold{pos: call.Pos(), expr: exprStr}
+	if w.fn != nil {
+		acq := w.facts.acquires[w.fn]
+		if acq == nil {
+			acq = make(map[*mutexNode]bool)
+			w.facts.acquires[w.fn] = acq
+		}
+		acq[node] = true
+	}
+}
+
+// recordCall notes a static module call for the call graph, and as a
+// held call when a lock is held.
+func (w *lockWalker) recordCall(call *ast.CallExpr, held map[*mutexNode]lockHold) {
+	callee := calleeFunc(w.p.Info, call)
+	if callee == nil || callee.Pkg() == nil || !strings.HasPrefix(callee.Pkg().Path(), modulePathOf(w.p)) {
+		return
+	}
+	if w.fn != nil {
+		cs := w.facts.calls[w.fn]
+		if cs == nil {
+			cs = make(map[*types.Func]bool)
+			w.facts.calls[w.fn] = cs
+		}
+		cs[callee] = true
+	}
+	for from := range held {
+		w.facts.heldCalls = append(w.facts.heldCalls, heldCall{held: from, callee: callee, pos: call.Pos(), pass: w.p})
+	}
+}
+
+// modulePathOf approximates the module path from the pass's import
+// path: everything before "/internal/", or the path itself for the
+// root package. Fixture packages under testdata keep their full path,
+// which still prefixes their sibling fixture imports.
+func modulePathOf(p *Pass) string {
+	if i := strings.Index(p.Path, "/internal/"); i >= 0 {
+		return p.Path[:i]
+	}
+	return p.Path
+}
+
+// mutexTarget resolves call to a (node, method) pair when it is
+// (R)Lock/(R)Unlock on a sync.Mutex/RWMutex, keyed structurally.
+func (w *lockWalker) mutexTarget(call *ast.CallExpr) (*mutexNode, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	f := calleeFunc(w.p.Info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, ""
+	}
+	switch namedTypeName(sig.Recv().Type()) {
+	case "Mutex", "RWMutex":
+	default:
+		return nil, ""
+	}
+	obj, name := w.mutexIdentity(sel)
+	if obj == nil {
+		return nil, ""
+	}
+	node := w.facts.nodes[obj]
+	if node == nil {
+		node = &mutexNode{obj: obj, name: name}
+		w.facts.nodes[obj] = node
+	}
+	return node, sel.Sel.Name
+}
+
+// mutexIdentity derives the structural key of the locked mutex.
+func (w *lockWalker) mutexIdentity(sel *ast.SelectorExpr) (types.Object, string) {
+	info := w.p.Info
+	// Embedded mutex: s.Lock() — the selection path runs through an
+	// embedded field; key on that field's object.
+	if selc, ok := info.Selections[sel]; ok && selc.Kind() == types.MethodVal {
+		if idx := selc.Index(); len(idx) > 1 {
+			if st, ok := derefType(selc.Recv()).Underlying().(*types.Struct); ok {
+				field := st.Field(idx[0])
+				return field, typeQual(selc.Recv()) + "." + field.Name()
+			}
+		}
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		// s.mu.Lock(), d.idx.mu.Lock(): key on the field object.
+		if selc, ok := info.Selections[x]; ok && selc.Kind() == types.FieldVal {
+			return selc.Obj(), typeQual(selc.Recv()) + "." + selc.Obj().Name()
+		}
+		// pkg.GlobalMu.Lock(): qualified package-level var.
+		if obj := info.Uses[x.Sel]; obj != nil {
+			return obj, qualName(obj)
+		}
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if obj != nil {
+			return obj, qualName(obj)
+		}
+	}
+	return nil, ""
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// typeQual renders "pkg.Type" for a receiver type.
+func typeQual(t types.Type) string {
+	name := namedTypeName(t)
+	pkg := namedTypePkgPath(t)
+	if i := strings.LastIndexByte(pkg, '/'); i >= 0 {
+		pkg = pkg[i+1:]
+	}
+	if pkg == "" {
+		return name
+	}
+	return pkg + "." + name
+}
+
+// qualName renders "pkg.var" (or "var" for locals).
+func qualName(obj types.Object) string {
+	if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		base := obj.Pkg().Path()
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		return base + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// expandInterprocedural propagates mayLock over the call graph to a
+// fixed point, then turns every held call into edges.
+func (f *lockFacts) expandInterprocedural() {
+	mayLock := make(map[*types.Func]map[*mutexNode]bool, len(f.acquires))
+	for fn, acq := range f.acquires {
+		set := make(map[*mutexNode]bool, len(acq))
+		for n := range acq {
+			set[n] = true
+		}
+		mayLock[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range f.calls {
+			set := mayLock[fn]
+			for callee := range callees {
+				for n := range mayLock[callee] {
+					if set == nil {
+						set = make(map[*mutexNode]bool)
+						mayLock[fn] = set
+					}
+					if !set[n] {
+						set[n] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, hc := range f.heldCalls {
+		for n := range mayLock[hc.callee] {
+			if n == hc.held {
+				continue // instance-crossing self-edges: suppressed
+			}
+			f.edges = append(f.edges, lockEdge{from: hc.held, to: n, pos: hc.pos, pass: hc.pass})
+		}
+	}
+}
+
+// reportCycles finds strongly connected components of the acquisition
+// graph and reports every edge inside one.
+func (f *lockFacts) reportCycles() {
+	adj := make(map[*mutexNode]map[*mutexNode]bool)
+	for _, e := range f.edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[*mutexNode]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	comp := sccOf(adj)
+
+	type key struct{ from, to *mutexNode }
+	seen := make(map[key]bool)
+	var bad []lockEdge
+	for _, e := range f.edges {
+		cf, okF := comp[e.from]
+		ct, okT := comp[e.to]
+		if !okF || !okT || cf != ct {
+			continue // edge leaves its component: not part of a cycle
+		}
+		if seen[key{e.from, e.to}] {
+			continue // report each ordered pair once, at its first site
+		}
+		seen[key{e.from, e.to}] = true
+		bad = append(bad, e)
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i].pos < bad[j].pos })
+	for _, e := range bad {
+		e.pass.Reportf(e.pos, "lock-order cycle: %s acquired while holding %s, and a reverse path exists (%s)",
+			e.to.name, e.from.name, cycleMembers(comp, comp[e.from]))
+	}
+}
+
+// sccOf computes strongly connected components (iterative Tarjan) and
+// returns, for nodes in a multi-node or self-looping component, a
+// stable component id.
+func sccOf(adj map[*mutexNode]map[*mutexNode]bool) map[*mutexNode]int {
+	index := make(map[*mutexNode]int)
+	low := make(map[*mutexNode]int)
+	onStack := make(map[*mutexNode]bool)
+	var stack []*mutexNode
+	comp := make(map[*mutexNode]int)
+	next, compID := 0, 0
+
+	nodes := make([]*mutexNode, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].name < nodes[j].name })
+
+	type frame struct {
+		n     *mutexNode
+		succs []*mutexNode
+		i     int
+	}
+	succsOf := func(n *mutexNode) []*mutexNode {
+		out := make([]*mutexNode, 0, len(adj[n]))
+		for s := range adj[n] {
+			out = append(out, s)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+		return out
+	}
+
+	for _, root := range nodes {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		frames := []frame{{n: root, succs: succsOf(root)}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			if fr.i < len(fr.succs) {
+				s := fr.succs[fr.i]
+				fr.i++
+				if _, ok := index[s]; !ok {
+					index[s], low[s] = next, next
+					next++
+					stack = append(stack, s)
+					onStack[s] = true
+					frames = append(frames, frame{n: s, succs: succsOf(s)})
+				} else if onStack[s] {
+					if index[s] < low[fr.n] {
+						low[fr.n] = index[s]
+					}
+				}
+				continue
+			}
+			// Pop fr.
+			n := fr.n
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].n
+				if low[n] < low[parent] {
+					low[parent] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				var members []*mutexNode
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					members = append(members, m)
+					if m == n {
+						break
+					}
+				}
+				if len(members) > 1 || adj[n][n] {
+					for _, m := range members {
+						comp[m] = compID
+					}
+					compID++
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// cycleMembers renders a component's node names for the finding text.
+func cycleMembers(comp map[*mutexNode]int, id int) string {
+	var names []string
+	for n, c := range comp {
+		if c == id {
+			names = append(names, n.name)
+		}
+	}
+	sort.Strings(names)
+	return "cycle through " + strings.Join(names, " ↔ ")
+}
+
+// lockRecvString renders the receiver expression of a lock call for
+// same-instance comparison.
+func lockRecvString(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X)
+	}
+	return fmt.Sprintf("%#v", call.Fun)
+}

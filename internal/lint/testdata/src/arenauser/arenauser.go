@@ -1,0 +1,77 @@
+// Package arenauser is the arenaref fixture: views into
+// logblock.StringVector/Int64Vector arenas must not be retained —
+// stored, sent, or returned — while copies (string conversion, byte
+// append) pass freely.
+package arenauser
+
+import "logstore/internal/logblock"
+
+type cache struct {
+	view []byte
+	vals []int64
+	rows [][]byte
+	ch   chan []byte
+}
+
+type entry struct {
+	data []byte
+}
+
+// goodCompare: a transient view compared and dropped.
+func goodCompare(sv *logblock.StringVector, i int, want string) bool {
+	return string(sv.Bytes(i)) == want
+}
+
+// goodCopyReturn: append into a fresh buffer copies the bytes out.
+func goodCopyReturn(sv *logblock.StringVector, i int) []byte {
+	return append([]byte(nil), sv.Bytes(i)...)
+}
+
+// goodSum reduces over the decoded column without keeping it.
+func goodSum(iv *logblock.Int64Vector) int64 {
+	var s int64
+	for _, v := range iv.Vals {
+		s += v
+	}
+	return s
+}
+
+// goodStringCopy stores a copy, not the arena.
+func (c *cache) goodStringCopy(sv *logblock.StringVector, i int) string {
+	s := string(sv.Bytes(i))
+	return s
+}
+
+// badFieldStore parks an arena view in a struct field: the vector can
+// be evicted while c.view still points into its arena.
+func (c *cache) badFieldStore(sv *logblock.StringVector, i int) {
+	v := sv.Bytes(i)
+	c.view = v // want arenaref
+}
+
+// badKeepVals retains the raw column storage itself.
+func (c *cache) badKeepVals(iv *logblock.Int64Vector) {
+	c.vals = iv.Vals // want arenaref
+}
+
+// badReturnArena hands the backing arena to the caller.
+func badReturnArena(sv *logblock.StringVector) []byte {
+	return sv.Arena // want arenaref
+}
+
+// badAppendRetain appends the view itself (not its bytes) into a
+// long-lived slice-of-slices.
+func (c *cache) badAppendRetain(sv *logblock.StringVector, i int) {
+	c.rows = append(c.rows, sv.Bytes(i)) // want arenaref
+}
+
+// badSend ships a view to another goroutine with its own lifetime.
+func (c *cache) badSend(sv *logblock.StringVector, i int) {
+	v := sv.Bytes(i)
+	c.ch <- v // want arenaref
+}
+
+// badCompositeLit smuggles a view out inside a struct value.
+func badCompositeLit(sv *logblock.StringVector, i int) entry {
+	return entry{data: sv.Bytes(i)} // want arenaref
+}

@@ -1,0 +1,41 @@
+// Package broker is the wallclock fixture for the broker package's
+// clock discipline: direct wall-clock reads outside clock.go must be
+// flagged; the seam indirections and pure duration arithmetic are
+// clean.
+package broker
+
+import "time"
+
+// goodRetryLoop routes deadline and pacing through the seam.
+func goodRetryLoop(window time.Duration, try func() bool) bool {
+	deadline := timeNow().Add(window)
+	for !try() {
+		if timeNow().After(deadline) {
+			return false
+		}
+		timeSleep(5 * time.Millisecond)
+	}
+	return true
+}
+
+// goodHedge arms the hedged-read delay through the seam.
+func goodHedge(d time.Duration) *time.Timer {
+	return newWallTimer(d)
+}
+
+// badDirectClock reads and sleeps on the wall clock directly.
+func badDirectClock(window time.Duration, try func() bool) bool {
+	deadline := time.Now().Add(window) // want wallclock
+	for !try() {
+		if time.Now().After(deadline) { // want wallclock
+			return false
+		}
+		time.Sleep(5 * time.Millisecond) // want wallclock
+	}
+	return true
+}
+
+// badHedgeTimer arms a timer off the raw clock.
+func badHedgeTimer(d time.Duration) *time.Timer {
+	return time.NewTimer(d) // want wallclock
+}

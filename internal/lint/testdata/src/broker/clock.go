@@ -1,0 +1,13 @@
+package broker
+
+import "time"
+
+// The fixture package's clock seam: the only file allowed to touch
+// the time package directly.
+
+var (
+	timeNow   = time.Now
+	timeSleep = time.Sleep
+)
+
+func newWallTimer(d time.Duration) *time.Timer { return time.NewTimer(d) }

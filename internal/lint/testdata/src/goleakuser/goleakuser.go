@@ -1,0 +1,99 @@
+// Package goleakuser is the goleak fixture: goroutines running
+// forever-loops with no reachable exit must be flagged; stop-channel
+// selects, range-over-channel, bounded bodies, labeled breaks, and
+// WaitGroup-guarded workers must stay silent.
+package goleakuser
+
+import "sync"
+
+// badForever: nothing ever ends this loop.
+func badForever(ch chan int) {
+	go func() {
+		for { // want goleak
+			<-ch
+		}
+	}()
+}
+
+// badNamed: the leak hides in a named function launched with go.
+func badNamed(ch chan int) {
+	go pump(ch)
+}
+
+func pump(ch chan int) {
+	for { // want goleak
+		<-ch
+	}
+}
+
+// badNestedBreak: the break binds to the select, not the loop.
+func badNestedBreak(ch chan int) {
+	go func() {
+		for { // want goleak
+			select {
+			case <-ch:
+				break
+			}
+		}
+	}()
+}
+
+// goodStopChannel: the select's stop case returns out of the loop.
+func goodStopChannel(ch chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ch:
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// goodRange: a range loop ends when the channel closes.
+func goodRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// goodBounded: no loop at all — the goroutine runs off its end.
+func goodBounded(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// goodLocalVar: goroutine body bound to a local variable, with a
+// break that exits the loop when the channel drains.
+func goodLocalVar(ch chan int) {
+	attempt := func() {
+		for {
+			if _, ok := <-ch; !ok {
+				break
+			}
+		}
+	}
+	go attempt()
+}
+
+// goodLabeledBreak: a labeled break from inside the select exits the
+// labeled loop.
+func goodLabeledBreak(ch chan int) {
+	go func() {
+	drain:
+		for {
+			select {
+			case v := <-ch:
+				if v < 0 {
+					break drain
+				}
+			}
+		}
+	}()
+}

@@ -1,0 +1,48 @@
+// Package ignoredir is the directive fixture: //lint:ignore must
+// suppress a real finding on its own line or the next, and the
+// machinery's self-checks (stale, malformed, unknown-analyzer
+// directives) must each fire. Expectations live in TestDirectives —
+// directive findings land on comment lines, which cannot also carry
+// `// want` markers.
+package ignoredir
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 8); return &b }}
+
+// suppressedNextLine: the directive absorbs the use-after-put finding
+// on the line below it.
+func suppressedNextLine() *[]byte {
+	bp := pool.Get().(*[]byte)
+	pool.Put(bp)
+	//lint:ignore poolescape fixture: demonstrating next-line suppression
+	return bp
+}
+
+// suppressedSameLine: trailing directive on the offending line.
+func suppressedSameLine() int {
+	bp := pool.Get().(*[]byte)
+	buf := *bp
+	pool.Put(bp)
+	return len(buf) //lint:ignore poolescape fixture: demonstrating same-line suppression
+}
+
+// stale: nothing here violates poolescape, so the directive itself
+// becomes a finding.
+func stale() {
+	bp := pool.Get().(*[]byte)
+	//lint:ignore poolescape this suppresses nothing and must be reported stale
+	pool.Put(bp)
+}
+
+// malformed: a directive without a reason is a finding.
+func malformed() {
+	//lint:ignore poolescape
+	_ = pool
+}
+
+// unknown: a directive naming a nonexistent analyzer is a finding.
+func unknown() {
+	//lint:ignore nosuchanalyzer the analyzer name is checked against the registry
+	_ = pool
+}

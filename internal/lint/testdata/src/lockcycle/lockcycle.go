@@ -1,0 +1,113 @@
+// Package lockcycle is the lockorder fixture: opposite-order
+// acquisitions (direct, via RLock, and through a call chain) must be
+// flagged as cycle edges, while a globally consistent order, distinct
+// lock pairs, and instance-crossing same-field locks stay silent.
+package lockcycle
+
+import "sync"
+
+type ingest struct{ mu sync.Mutex }
+type index struct{ mu sync.RWMutex }
+
+type store struct {
+	in  ingest
+	idx index
+}
+
+// badInThenIdx and badIdxThenIn acquire the same two mutexes in
+// opposite orders: both second acquisitions are cycle edges.
+func (s *store) badInThenIdx() {
+	s.in.mu.Lock()
+	s.idx.mu.Lock() // want lockorder
+	s.idx.mu.Unlock()
+	s.in.mu.Unlock()
+}
+
+func (s *store) badIdxThenIn() {
+	s.idx.mu.RLock()
+	s.in.mu.Lock() // want lockorder
+	s.in.mu.Unlock()
+	s.idx.mu.RUnlock()
+}
+
+// badRelock is the non-reentrancy self-deadlock: same expression,
+// no intervening unlock.
+func (s *store) badRelock() {
+	s.in.mu.Lock()
+	s.in.mu.Lock() // want lockorder
+	s.in.mu.Unlock()
+	s.in.mu.Unlock()
+}
+
+type wal struct{ mu sync.Mutex }
+type seg struct{ mu sync.Mutex }
+
+type shipper struct {
+	w wal
+	g seg
+}
+
+// The interprocedural cycle: holdWalShipSeg holds wal.mu across a
+// call that locks seg.mu, while holdSegShipWal does the reverse.
+func (s *shipper) holdWalShipSeg() {
+	s.w.mu.Lock()
+	defer s.w.mu.Unlock()
+	s.rotateSeg() // want lockorder
+}
+
+func (s *shipper) holdSegShipWal() {
+	s.g.mu.Lock()
+	defer s.g.mu.Unlock()
+	s.syncWal() // want lockorder
+}
+
+func (s *shipper) rotateSeg() {
+	s.g.mu.Lock()
+	s.g.mu.Unlock()
+}
+
+func (s *shipper) syncWal() {
+	s.w.mu.Lock()
+	s.w.mu.Unlock()
+}
+
+type meta struct{ mu sync.Mutex }
+type data struct{ mu sync.Mutex }
+
+type clean struct {
+	m meta
+	d data
+}
+
+// goodOrder: meta before data everywhere — a consistent global order
+// has no cycle, so neither function is flagged.
+func (c *clean) goodOrderRead() {
+	c.m.mu.Lock()
+	c.d.mu.Lock()
+	c.d.mu.Unlock()
+	c.m.mu.Unlock()
+}
+
+func (c *clean) goodOrderWrite() {
+	c.m.mu.Lock()
+	defer c.m.mu.Unlock()
+	c.d.mu.Lock()
+	defer func() { c.d.mu.Unlock() }()
+}
+
+// goodHandoff locks the same field on two *instances*: field-keyed
+// identity cannot order instances, so this is deliberately silent.
+func goodHandoff(a, b *ingest) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// goodSequential re-locks only after unlocking — no self-deadlock.
+func (s *store) goodSequential() {
+	s.in.mu.Lock()
+	s.in.mu.Unlock()
+	s.in.mu.Lock()
+	s.in.mu.Unlock()
+}

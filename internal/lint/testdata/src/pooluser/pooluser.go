@@ -1,0 +1,108 @@
+// Package pooluser is the poolescape fixture: every pattern the
+// analyzer must flag carries a `// want poolescape` marker, and the
+// corresponding fixed idioms (the worker ingest path's real shapes)
+// must stay silent.
+package pooluser
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+type sink struct {
+	kept []byte
+	ch   chan []byte
+}
+
+// putBuf is the project-style helper idiom: reset and return to pool.
+func putBuf(bp *[]byte) {
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}
+
+// grow stands in for AppendSubProposal: it may return the pooled
+// buffer or a regrown copy, so its result aliases its input.
+func grow(dst, rows []byte) []byte {
+	return append(dst, rows...)
+}
+
+// goodRoundTrip is the canonical clean path: get, use, put last.
+func goodRoundTrip(rows []byte) int {
+	bp := bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], rows...)
+	n := len(buf)
+	*bp = buf[:0]
+	bufPool.Put(bp)
+	return n
+}
+
+// goodCopyOut: string conversion copies the bytes, so the result may
+// outlive the Put.
+func goodCopyOut(rows []byte) string {
+	bp := bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], rows...)
+	s := string(buf)
+	bufPool.Put(bp)
+	return s
+}
+
+// goodBranchPut: a Put on one path does not poison the other.
+func goodBranchPut(rows []byte, bail bool) int {
+	bp := bufPool.Get().(*[]byte)
+	if bail {
+		bufPool.Put(bp)
+		return 0
+	}
+	buf := append((*bp)[:0], rows...)
+	n := len(buf)
+	putBuf(bp)
+	return n
+}
+
+// badUseAfterPut reads the buffer after it went back to the pool.
+func badUseAfterPut(rows []byte) int {
+	bp := bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], rows...)
+	bufPool.Put(bp)
+	return len(buf) // want poolescape
+}
+
+// badReturnAfterPut returns an alias of the recycled buffer.
+func badReturnAfterPut(rows []byte) []byte {
+	bp := bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], rows...)
+	bufPool.Put(bp)
+	return buf // want poolescape
+}
+
+// badGrownAlias: the callee may return the pooled backing array, so
+// the alias survives the call and the Put kills it too.
+func badGrownAlias(rows []byte) []byte {
+	bp := bufPool.Get().(*[]byte)
+	sub := grow((*bp)[:0], rows)
+	bufPool.Put(bp)
+	return sub // want poolescape
+}
+
+// badHelperKill: the project put helper recycles just like Pool.Put.
+func badHelperKill(rows []byte) int {
+	bp := bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], rows...)
+	putBuf(bp)
+	return len(buf) // want poolescape
+}
+
+// badStoreAfterPut parks a recycled buffer in a struct field.
+func (s *sink) badStoreAfterPut(rows []byte) {
+	bp := bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], rows...)
+	bufPool.Put(bp)
+	s.kept = buf // want poolescape
+}
+
+// badSendAfterPut hands a recycled buffer to another goroutine.
+func (s *sink) badSendAfterPut(rows []byte) {
+	bp := bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], rows...)
+	bufPool.Put(bp)
+	s.ch <- buf // want poolescape
+}

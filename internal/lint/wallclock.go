@@ -4,20 +4,28 @@ import (
 	"go/types"
 )
 
-// wallClockPkgs are the deterministic packages (by last import-path
-// segment): the max-flow scheduler, the experiment harness, the
-// workload generator, the raft core, and the worker ingest path must
-// produce identical output for identical input, so they may not consult
-// the wall clock directly. (Raft's tick/election timers run behind the
-// Clock seam so failover tests can drive elections deterministically;
-// the worker's append retry loop and archive/standby tickers run behind
-// timeNow/timeSleep/newWallTicker in its clock.go for the same reason.)
+// wallClockPkgs are the clock-disciplined packages (by last
+// import-path segment): the max-flow scheduler, the experiment
+// harness, the workload generator, the raft core, and the worker
+// ingest path must produce identical output for identical input, so
+// they may not consult the wall clock directly. (Raft's tick/election
+// timers run behind the Clock seam so failover tests can drive
+// elections deterministically; the worker's append retry loop and
+// archive/standby tickers run behind timeNow/timeSleep/newWallTicker
+// in its clock.go for the same reason.) The broker's retry/hedge
+// timing, the chaos harness's pacing and dwell times, and the HTTP
+// surface's timestamp defaulting and latency accounting follow the
+// same discipline through their own clock.go seams, so their tests can
+// pin time too.
 var wallClockPkgs = map[string]bool{
 	"flow":        true,
 	"experiments": true,
 	"workload":    true,
 	"raft":        true,
 	"worker":      true,
+	"broker":      true,
+	"chaos":       true,
+	"httpapi":     true,
 }
 
 // wallClockFuncs are the time-package functions that read or depend on
@@ -44,7 +52,7 @@ const wallClockSeamFile = "clock.go"
 // outside their clock seam.
 var WallClockAnalyzer = &Analyzer{
 	Name: "wallclock",
-	Doc:  "deterministic packages (flow/experiments/workload/raft/worker) must not read the wall clock outside clock.go",
+	Doc:  "clock-disciplined packages (flow/experiments/workload/raft/worker/broker/chaos/httpapi) must not read the wall clock outside clock.go",
 	Run:  runWallClock,
 }
 
