@@ -2,13 +2,13 @@ GO ?= go
 FUZZTIME ?= 10s
 CHAOS_SEED ?= 2026
 
-.PHONY: check fmt vet build test race lint lint-baseline fuzz chaos chaos-short bench bench-all benchdiff soak soak-short soak-baseline clean
+.PHONY: check fmt vet build test race lint lint-baseline fuzz chaos chaos-short chaos-wipe chaos-wipe-short bench bench-all benchdiff soak soak-short soak-baseline clean
 
 ## check: the tier-1 gate — formatting, vet, build, race-enabled tests,
 ## plus the repo's own invariant linter, a short fuzz pass over every
-## untrusted decode surface, the short node-failure chaos run, and a
-## short sustained-load soak with exactly-once accounting.
-check: fmt vet build race lint fuzz chaos-short soak-short
+## untrusted decode surface, the short node-failure and disk-wipe chaos
+## runs, and a short sustained-load soak with exactly-once accounting.
+check: fmt vet build race lint fuzz chaos-short chaos-wipe-short soak-short
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -65,6 +65,19 @@ chaos-short:
 	LOGSTORE_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -short \
 		-run 'TestChaosNodeFailures' -timeout 120s .
 
+## chaos-wipe: the disk-loss gate at full size — workers crash with
+## their raft WALs and caches destroyed under live traffic; recovery
+## must hydrate the lost shards from the shipped WAL on OSS with
+## exactly-once accounting intact.
+chaos-wipe:
+	LOGSTORE_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -v \
+		-run 'TestChaosDiskWipe|TestDiskLossHydration' -timeout 300s .
+
+## chaos-wipe-short: the reduced disk-wipe run folded into `make check`.
+chaos-wipe-short:
+	LOGSTORE_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -short \
+		-run 'TestChaosDiskWipe' -timeout 120s .
+
 ## bench: the micro-benchmarks tracked across perf PRs; writes
 ## BENCH_scan.json (query path) and BENCH_ingest.json (write path) with
 ## ns/op, B/op, allocs/op per bench. Commit the refreshed JSON when a
@@ -79,10 +92,11 @@ bench:
 
 ## benchdiff: re-measure the tracked benchmarks and fail on a >25%
 ## ns/op or allocs/op regression against the committed baselines,
-## then re-run the full soak and gate BENCH_soak.json throughput.
-benchdiff: benchdiff-micro benchdiff-soak
+## then re-run the full soak and gate BENCH_soak.json throughput,
+## and bound the WAL-shipping overhead against a durable baseline.
+benchdiff: benchdiff-micro benchdiff-soak benchdiff-ship
 
-.PHONY: benchdiff-micro benchdiff-soak
+.PHONY: benchdiff-micro benchdiff-soak benchdiff-ship
 benchdiff-micro:
 	$(GO) test -bench 'BenchmarkScan|BenchmarkMaterialize|BenchmarkCountStar' \
 		-benchmem -run '^$$' ./internal/query/ > /tmp/benchdiff_scan.txt
@@ -98,6 +112,19 @@ benchdiff-soak:
 		-writers 8 -readers 2 -out /tmp/benchdiff_soak.json
 	$(GO) run ./cmd/benchdiff -mode soak -max-regress 40 \
 		-base BENCH_soak.json -new /tmp/benchdiff_soak.json
+
+## benchdiff-ship: shipping-overhead gate. Two identically shaped soaks
+## on durable raft WALs — one plain, one with async WAL shipping — must
+## land within 50% of each other. The disk-WAL fsync cost dominates
+## both runs equally, so what this bounds is the marginal cost of the
+## ship hook, the chunk encoding, and the OSS uploads.
+benchdiff-ship:
+	$(GO) run ./cmd/logstore-soak -tenants 200 -duration 2s \
+		-writers 4 -readers 1 -durable -out /tmp/bench_soak_durable.json
+	$(GO) run ./cmd/logstore-soak -tenants 200 -duration 2s \
+		-writers 4 -readers 1 -ship -out /tmp/bench_soak_ship.json
+	$(GO) run ./cmd/benchdiff -mode soak -max-regress 50 \
+		-base /tmp/bench_soak_durable.json -new /tmp/bench_soak_ship.json
 
 ## bench-all: every benchmark in the tree, one iteration (smoke).
 bench-all:

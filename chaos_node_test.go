@@ -35,6 +35,11 @@ func TestChaosNodeFailures(t *testing.T) {
 	cfg.ShardsPerWorker = 2
 	cfg.Replicas = 3
 	cfg.DataDir = t.TempDir() // raft WALs must survive the crashes
+	// WAL shipping in sync mode: disk-wipe cycles may destroy a worker's
+	// WALs entirely, so the ack must imply OSS durability for the
+	// exactly-once ledger to hold.
+	cfg.ShipWAL = true
+	cfg.ShipSync = true
 	cfg.ArchiveInterval = 25 * time.Millisecond
 	cfg.HeartbeatInterval = 10 * time.Millisecond
 	// Routing must stay pinned: a retried batch re-sent to a different
@@ -47,6 +52,7 @@ func TestChaosNodeFailures(t *testing.T) {
 		Tenants:      4,
 		BatchRows:    40,
 		CrashCycles:  3,
+		WipeCycles:   2,
 		LeaderKills:  2,
 		Partitions:   2,
 		Replicas:     cfg.Replicas,
@@ -63,8 +69,9 @@ func TestChaosNodeFailures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Crashes < 3 || rep.LeaderKills < 2 {
-		t.Fatalf("injected crashes=%d leaderKills=%d, want >=3 and >=2", rep.Crashes, rep.LeaderKills)
+	if rep.Crashes < 3 || rep.LeaderKills < 2 || rep.Wipes < 2 {
+		t.Fatalf("injected crashes=%d leaderKills=%d wipes=%d, want >=3, >=2 and >=2",
+			rep.Crashes, rep.LeaderKills, rep.Wipes)
 	}
 	if rep.AckedTotal == 0 || rep.Queries == 0 {
 		t.Fatalf("no live traffic: acked=%d queries=%d", rep.AckedTotal, rep.Queries)
@@ -82,6 +89,9 @@ func TestChaosNodeFailures(t *testing.T) {
 	}
 	if stats.LeaderKills < int64(ccfg.LeaderKills) {
 		t.Fatalf("recovery stats = %+v, want >=%d leader kills", stats, ccfg.LeaderKills)
+	}
+	if stats.Wipes < int64(ccfg.WipeCycles) || stats.Hydrations == 0 {
+		t.Fatalf("recovery stats = %+v, want >=%d wipes and >0 OSS hydrations", stats, ccfg.WipeCycles)
 	}
 	// Group commit is on by default, so every surviving worker routed
 	// its ingest through the coalescer — the exactly-once verification

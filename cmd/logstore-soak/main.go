@@ -51,6 +51,11 @@ type report struct {
 	DedupSkips     int64   `json:"dedup_skips"`
 	ResidentRows   int64   `json:"resident_rows"`
 	ArchivedRows   int64   `json:"archived_rows"`
+	// Shipping metrics ride in the same flat numeric namespace the
+	// benchdiff soak loader expects (no non-numeric fields here).
+	ShipChunks     int64 `json:"ship_chunks,omitempty"`
+	ShipSnapshots  int64 `json:"ship_snapshots,omitempty"`
+	UnshippedBytes int64 `json:"unshipped_bytes,omitempty"`
 }
 
 func main() {
@@ -64,17 +69,32 @@ func main() {
 		workers  = flag.Int("workers", 3, "worker nodes")
 		shards   = flag.Int("shards", 4, "shards per worker")
 		replicas = flag.Int("replicas", 3, "replicas per shard raft group")
+		ship     = flag.Bool("ship", false, "enable asynchronous WAL shipping to OSS (measures shipping overhead under load; implies durable raft WALs)")
+		durable  = flag.Bool("durable", false, "put raft WALs on disk (a temp dir) without shipping — the baseline -ship is compared against")
 		out      = flag.String("out", "BENCH_soak.json", "JSON report path")
 	)
 	flag.Parse()
 
-	c, err := logstore.Open(logstore.Config{
+	cfg := logstore.Config{
 		Workers:         *workers,
 		ShardsPerWorker: *shards,
 		Replicas:        *replicas,
 		ArchiveInterval: 250 * time.Millisecond,
 		RaftTick:        2 * time.Millisecond,
-	})
+	}
+	var shipDir string
+	if *ship || *durable {
+		// Shipping needs durable raft WALs to snapshot from.
+		dir, err := os.MkdirTemp("", "logstore-soak-ship-*")
+		if err != nil {
+			fatal("ship temp dir: %v", err)
+		}
+		shipDir = dir
+		defer os.RemoveAll(dir)
+		cfg.DataDir = dir
+		cfg.ShipWAL = *ship
+	}
+	c, err := logstore.Open(cfg)
 	if err != nil {
 		fatal("open cluster: %v", err)
 	}
@@ -211,6 +231,15 @@ func main() {
 	}
 	if groups > 0 {
 		rep.GroupFactor = float64(batches) / float64(groups)
+	}
+	if *ship {
+		rec := c.RecoveryStats()
+		rep.ShipChunks = rec.ShipChunks
+		rep.ShipSnapshots = rec.ShipSnapshots
+		rep.UnshippedBytes = rec.UnshippedBytes
+		if rec.ShipChunks == 0 {
+			fatal("WAL shipping enabled (%s) but no chunks shipped", shipDir)
+		}
 	}
 	if batches == 0 {
 		fatal("coalescer saw no traffic; soak must exercise group commit")

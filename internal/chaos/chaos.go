@@ -33,6 +33,7 @@ type Target interface {
 	ShardIDs() []flow.ShardID
 	WorkerIDs() []flow.WorkerID
 	CrashWorker(id flow.WorkerID) error
+	CrashWorkerWipeDisk(id flow.WorkerID) error
 	RecoverWorker(id flow.WorkerID) error
 	KillShardLeader(s flow.ShardID) (raft.NodeID, error)
 	RestartShardReplica(s flow.ShardID, r raft.NodeID) error
@@ -51,6 +52,12 @@ type Config struct {
 	BatchRows int
 	// CrashCycles is how many worker crash→recover cycles to inject.
 	CrashCycles int
+	// WipeCycles is how many crash→wipe-disk→recover cycles to inject:
+	// the worker's raft WALs and SSD cache are destroyed before the
+	// rebuild, so recovery must hydrate every hosted shard from the
+	// shipped WAL on object storage. Requires the target cluster to run
+	// with DataDir and WAL shipping enabled.
+	WipeCycles int
 	// LeaderKills is how many shard raft leaders to kill (the replica
 	// is restarted in place afterwards).
 	LeaderKills int
@@ -86,11 +93,12 @@ type Report struct {
 	// Queries is how many concurrent queries were answered mid-chaos.
 	Queries int
 	// Fault counts actually injected.
-	Crashes, LeaderKills, Partitions int
+	Crashes, LeaderKills, Partitions, Wipes int
 }
 
 const (
 	crashEvent = iota
+	wipeEvent
 	leaderKillEvent
 	partitionEvent
 )
@@ -139,6 +147,11 @@ func Run(tg Target, cfg Config) (*Report, error) {
 	var events []event
 	for i := 0; i < cfg.CrashCycles; i++ {
 		events = append(events, event{kind: crashEvent, worker: workers[i%len(workers)]})
+	}
+	for i := 0; i < cfg.WipeCycles; i++ {
+		// Offset so wipes and plain crashes don't always hit the same
+		// worker first.
+		events = append(events, event{kind: wipeEvent, worker: workers[(i+1)%len(workers)]})
 	}
 	for i := 0; i < cfg.LeaderKills; i++ {
 		events = append(events, event{kind: leaderKillEvent, shard: shards[i%len(shards)]})
@@ -258,6 +271,18 @@ func Run(tg Target, cfg Config) (*Report, error) {
 				break
 			}
 			rep.Crashes++
+		case wipeEvent:
+			logf("chaos: crash worker %d and wipe its disk", ev.worker)
+			if err := tg.CrashWorkerWipeDisk(ev.worker); err != nil {
+				faultErr = fmt.Errorf("chaos: wipe worker %d: %w", ev.worker, err)
+				break
+			}
+			timeSleep(cfg.RecoverAfter)
+			if err := tg.RecoverWorker(ev.worker); err != nil {
+				faultErr = fmt.Errorf("chaos: recover wiped worker %d: %w", ev.worker, err)
+				break
+			}
+			rep.Wipes++
 		case leaderKillEvent:
 			// Retry: the group may be mid-election from a prior fault.
 			var killed raft.NodeID

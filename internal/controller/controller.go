@@ -19,6 +19,7 @@ import (
 	"logstore/internal/flow"
 	"logstore/internal/meta"
 	"logstore/internal/oss"
+	"logstore/internal/ship"
 )
 
 // Config configures the controller.
@@ -39,6 +40,11 @@ type Config struct {
 	CheckpointKey string
 	// CheckpointInterval is the snapshot cadence (0 disables the loop).
 	CheckpointInterval time.Duration
+	// ShipGens, when WAL shipping is enabled, is the cluster-wide
+	// shipping-generation registry: the controller owns the metadata
+	// that says which `wal/<shard>/<gen>` lineage is current, exactly
+	// as it owns the LogBlock catalog.
+	ShipGens *ship.Registry
 }
 
 // ScaleFunc is invoked when rebalancing cannot satisfy demand; it
@@ -102,6 +108,10 @@ func (c *Controller) Collector() *flow.Collector { return c.collector }
 
 // Catalog exposes the metadata manager.
 func (c *Controller) Catalog() *meta.Manager { return c.catalog }
+
+// ShipGens exposes the WAL-shipping generation registry (nil when
+// shipping is disabled).
+func (c *Controller) ShipGens() *ship.Registry { return c.cfg.ShipGens }
 
 // Start launches the background loops.
 func (c *Controller) Start() {

@@ -14,6 +14,7 @@ var rawStoreProdPkgs = map[string]bool{
 	"builder":    true,
 	"broker":     true,
 	"controller": true,
+	"ship":       true,
 }
 
 // rawStoreTypes are the concrete store implementations production code

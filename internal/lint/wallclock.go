@@ -26,6 +26,7 @@ var wallClockPkgs = map[string]bool{
 	"broker":      true,
 	"chaos":       true,
 	"httpapi":     true,
+	"ship":        true,
 }
 
 // wallClockFuncs are the time-package functions that read or depend on

@@ -37,6 +37,8 @@ type FlakyStore struct {
 	failNGet   int
 	failNList  int
 	failNDel   int
+	partialN   int
+	partialCut float64
 	latency    time.Duration
 	failures   Stats
 }
@@ -67,6 +69,19 @@ func (s *FlakyStore) SetRates(failPut, failGet float64) {
 func (s *FlakyStore) FailNextPuts(n int) {
 	s.mu.Lock()
 	s.failNPut = n
+	s.mu.Unlock()
+}
+
+// PartialNextPuts makes the next n Put calls store only a truncated
+// prefix of the object — frac in (0,1) of its bytes, at least one byte
+// short — while reporting success to the caller. This is the torn-write
+// failure mode of a crashed/partitioned uploader on stores without
+// atomic multipart commit; readers must detect the damage themselves
+// (length probes, embedded CRCs) rather than trust the ack.
+func (s *FlakyStore) PartialNextPuts(n int, frac float64) {
+	s.mu.Lock()
+	s.partialN = n
+	s.partialCut = frac
 	s.mu.Unlock()
 }
 
@@ -209,10 +224,35 @@ func (s *FlakyStore) rollDelete() error {
 	return err
 }
 
+// rollPartial consumes one unit of the torn-write budget and returns
+// how many of n bytes to actually store.
+func (s *FlakyStore) rollPartial(n int) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.partialN <= 0 || n == 0 {
+		return 0, false
+	}
+	s.partialN--
+	cut := int(float64(n) * s.partialCut)
+	if cut >= n {
+		cut = n - 1 // a torn write is strictly shorter than the object
+	}
+	if cut < 0 {
+		cut = 0
+	}
+	return cut, true
+}
+
 // Put implements Store.
 func (s *FlakyStore) Put(key string, data []byte) error {
 	if err := s.rollPut(); err != nil {
 		return err
+	}
+	if cut, torn := s.rollPartial(len(data)); torn {
+		// The torn write acks regardless of what landed: that is the
+		// failure being simulated.
+		_ = s.inner.Put(key, data[:cut])
+		return nil
 	}
 	return s.inner.Put(key, data)
 }

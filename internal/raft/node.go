@@ -56,6 +56,12 @@ type Config struct {
 
 	// Seed randomizes election timeouts deterministically.
 	Seed int64
+
+	// CommitHook, when set, observes every entry this node commits, in
+	// index order, before the proposer is acked. The WAL shipper hangs
+	// off it: an ack therefore implies the shipper has been offered the
+	// entry. Called from the run goroutine — must not block.
+	CommitHook func([]Entry)
 }
 
 type proposal struct {
@@ -872,6 +878,9 @@ func (n *Node) advanceCommit(to uint64) {
 	}
 	from := n.commitIndex + 1
 	n.commitIndex = to
+	if n.cfg.CommitHook != nil && from > n.base {
+		n.cfg.CommitHook(n.log[from-n.base-1 : to-n.base])
+	}
 	for idx := from; idx <= to; idx++ {
 		// Leadership no-ops are queued too (the apply loop skips the
 		// SM call): the applied index must cover every committed index

@@ -1,0 +1,16 @@
+package ship
+
+import "time"
+
+// This file is the package's clock seam — the single place the shipper
+// touches the wall clock. The linger timer pacing chunk flushes, the
+// retry pause after a failed generation open, and the last-ship age
+// gauge all route through these indirections, so tests can pin time and
+// the wallclock analyzer keeps every other file deterministic.
+
+var (
+	timeNow   = time.Now
+	timeSleep = time.Sleep
+)
+
+func newWallTicker(d time.Duration) *time.Ticker { return time.NewTicker(d) }

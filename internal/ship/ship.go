@@ -1,0 +1,609 @@
+// Package ship streams each shard's committed raft log into object
+// storage so OSS holds every acked row, not only the archived ones. A
+// per-shard shipper goroutine buffers committed entries (fed by the
+// raft commit hook on every replica — duplicates collapse on index
+// contiguity), flushes them as chunk objects under a registered
+// generation, and periodically rolls the generation with a fresh
+// snapshot so old chunks — like shipped local segments — can be
+// truncated. A worker that lost its disks hydrates the latest
+// generation (snapshot + chunk suffix) back into local WALs and
+// resumes with resident+archived == acked intact.
+package ship
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"logstore/internal/metrics"
+	"logstore/internal/oss"
+	"logstore/internal/raft"
+	"logstore/internal/retry"
+)
+
+// ErrStopped is returned to barrier waiters when the shipper shuts
+// down before their entries reached OSS.
+var ErrStopped = errors.New("ship: shipper stopped")
+
+// Defaults for the exposure-window knobs: how long an acked row may
+// stay local-only before it must be in OSS.
+const (
+	DefaultLinger     = 100 * time.Millisecond
+	DefaultMaxBytes   = 1 << 20
+	DefaultMaxBacklog = 16 << 20
+	DefaultRollChunks = 16
+
+	// entryOverhead approximates per-entry framing when accounting
+	// pending bytes against MaxBytes/MaxBacklog.
+	entryOverhead = 20
+)
+
+// Options configures WAL shipping for a worker's shards.
+type Options struct {
+	// Store is the OSS backend shipped objects land in. It is wrapped
+	// in the retry layer if it is not one already.
+	Store oss.Store
+	// Registry issues and fences per-shard shipping generations. All
+	// shippers of a cluster must share one registry.
+	Registry *Registry
+	// Sync makes every append barrier on shipping: the ack implies the
+	// rows are in OSS, closing the exposure window entirely at the cost
+	// of one OSS round-trip per commit group.
+	Sync bool
+	// Linger bounds how long an acked-but-unshipped row may wait
+	// before a flush (async mode's exposure window).
+	Linger time.Duration
+	// MaxBytes triggers a flush early once this much is pending.
+	MaxBytes int64
+	// MaxBacklog is the async-mode backpressure threshold: when OSS is
+	// down and more than this is pending, appends are refused rather
+	// than building unbounded local exposure.
+	MaxBacklog int64
+	// RollChunks is the snapshot cadence: once this many chunks
+	// shipped and the archive mark advanced, the generation rolls.
+	RollChunks int
+}
+
+// Source captures a consistent cut of shard state for a snapshot. The
+// worker implements it under its apply lock: WAL base (= archive
+// checkpoint mark), live entries above it, and the dedup ids at or
+// below the mark.
+type Source func() (State, error)
+
+// Stats is a point-in-time observability snapshot of one shipper.
+type Stats struct {
+	Gen              uint64
+	Watermark        uint64
+	UnshippedBytes   int64
+	UnshippedEntries int64
+	LastShipAge      time.Duration
+	Chunks           int64
+	Snapshots        int64
+	Rolls            int64
+	Errors           int64
+	Fenced           bool
+}
+
+type waiter struct {
+	target uint64
+	ch     chan error
+}
+
+// Shipper streams one shard's committed entries into OSS.
+type Shipper struct {
+	store  *oss.RetryingStore
+	reg    *Registry
+	shard  int64
+	source Source
+
+	linger     time.Duration
+	maxBytes   int64
+	maxBacklog int64
+	rollChunks int
+
+	flushCh  chan struct{}
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	stopOnce sync.Once
+
+	mu           sync.Mutex
+	pending      []raft.Entry // contiguous committed run [watermark+1, next)
+	pendingBytes int64
+	next         uint64 // next index Offer accepts
+	maxOffered   uint64 // highest committed index any replica reported
+	gapped       bool   // commit stream skipped indexes; chunking must stop until a roll
+	watermark    uint64 // highest index the current generation covers in OSS
+	gen          uint64 // registered generation (0 = none yet)
+	archivedMark uint64 // highest locally archived applied index (NoteArchived)
+	waiters      []waiter
+	failed       error
+	finalFlush   bool
+
+	// Generation bookkeeping owned by the ship loop goroutine.
+	seq             uint64
+	snapBase        uint64
+	chunksSinceSnap int
+	lastShippedMark uint64
+
+	lastShipNano metrics.Gauge
+	chunks       metrics.Counter
+	snaps        metrics.Counter
+	rolls        metrics.Counter
+	errs         metrics.Counter
+}
+
+// New starts a shipper for shard. next is the first log index the
+// shipper should expect from the commit hook (local WAL tip + 1 at
+// boot); everything at or below it is covered by the generation the
+// first roll snapshots.
+func New(opts Options, shard int64, next uint64, source Source) *Shipper {
+	if opts.Linger <= 0 {
+		opts.Linger = DefaultLinger
+	}
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = DefaultMaxBytes
+	}
+	if opts.MaxBacklog <= 0 {
+		opts.MaxBacklog = DefaultMaxBacklog
+	}
+	if opts.RollChunks <= 0 {
+		opts.RollChunks = DefaultRollChunks
+	}
+	if next == 0 {
+		next = 1
+	}
+	s := &Shipper{
+		store:      oss.WithDefaultRetry(opts.Store),
+		reg:        opts.Registry,
+		shard:      shard,
+		source:     source,
+		linger:     opts.Linger,
+		maxBytes:   opts.MaxBytes,
+		maxBacklog: opts.MaxBacklog,
+		rollChunks: opts.RollChunks,
+		flushCh:    make(chan struct{}, 1),
+		stopCh:     make(chan struct{}),
+		doneCh:     make(chan struct{}),
+		next:       next,
+	}
+	s.lastShipNano.Set(timeNow().UnixNano())
+	go s.loop()
+	return s
+}
+
+// Offer feeds committed entries from a replica's commit hook. Every
+// replica of the shard calls it; duplicates are dropped on index
+// contiguity. It never blocks and never touches OSS — it runs inside
+// the raft loop's critical path.
+func (s *Shipper) Offer(entries []raft.Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.failed != nil {
+		s.mu.Unlock()
+		return
+	}
+	last := entries[len(entries)-1].Index
+	if last > s.maxOffered {
+		s.maxOffered = last
+	}
+	signal := false
+	if !s.gapped && last >= s.next {
+		if entries[0].Index > s.next {
+			// The commit index jumped (snapshot install): entries below
+			// the jump never pass through here, so chunking must stop
+			// and the next roll re-covers the log from a snapshot.
+			s.gapped = true
+			signal = true
+		} else {
+			for _, e := range entries {
+				if e.Index < s.next {
+					continue
+				}
+				if e.Index != s.next {
+					s.gapped = true
+					break
+				}
+				s.pending = append(s.pending, e)
+				s.pendingBytes += int64(len(e.Data)) + entryOverhead
+				s.next++
+			}
+			signal = s.gapped || s.pendingBytes >= s.maxBytes
+		}
+	}
+	s.mu.Unlock()
+	if signal {
+		s.signalFlush()
+	}
+}
+
+// Barrier blocks until every entry offered so far is in OSS (or the
+// flush fails — callers retry the append; the re-commit is dedup'd).
+// Sync-mode appends call this after the raft ack.
+func (s *Shipper) Barrier() error {
+	s.mu.Lock()
+	if s.failed != nil {
+		err := s.failed
+		s.mu.Unlock()
+		return err
+	}
+	target := s.maxOffered
+	if s.watermark >= target {
+		s.mu.Unlock()
+		return nil
+	}
+	ch := make(chan error, 1)
+	s.waiters = append(s.waiters, waiter{target: target, ch: ch})
+	s.mu.Unlock()
+	s.signalFlush()
+	return <-ch
+}
+
+// NoteArchived records that rows at or below mark are archived into
+// LogBlocks. The mark rides in every commit record so hydration never
+// re-applies rows the catalog already holds, and it gates generation
+// rolls (a snapshot is only worth taking once the archive moved).
+func (s *Shipper) NoteArchived(mark uint64) {
+	s.mu.Lock()
+	changed := mark > s.archivedMark
+	if changed {
+		s.archivedMark = mark
+	}
+	s.mu.Unlock()
+	if changed {
+		s.signalFlush()
+	}
+}
+
+// Overloaded reports whether the pending backlog exceeds MaxBacklog —
+// the async-mode backpressure signal (OSS down, breaker open, local
+// exposure at its bound).
+func (s *Shipper) Overloaded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pendingBytes > s.maxBacklog
+}
+
+// Breaker exposes the OSS circuit breaker the shipper writes through.
+func (s *Shipper) Breaker() *retry.Breaker { return s.store.Breaker() }
+
+// Stats reports the shipper's observability counters.
+func (s *Shipper) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Gen:              s.gen,
+		Watermark:        s.watermark,
+		UnshippedBytes:   s.pendingBytes,
+		UnshippedEntries: int64(len(s.pending)),
+		Fenced:           errors.Is(s.failed, ErrFenced),
+	}
+	s.mu.Unlock()
+	st.LastShipAge = time.Duration(timeNow().UnixNano() - s.lastShipNano.Value())
+	st.Chunks = s.chunks.Value()
+	st.Snapshots = s.snaps.Value()
+	st.Rolls = s.rolls.Value()
+	st.Errors = s.errs.Value()
+	return st
+}
+
+// Stop shuts the shipper down. With flush set it attempts one final
+// flush first (graceful close); without, it abandons the backlog
+// (crash semantics). Blocks until the ship loop exits.
+func (s *Shipper) Stop(flush bool) {
+	s.stopOnce.Do(func() {
+		s.mu.Lock()
+		s.finalFlush = flush
+		s.mu.Unlock()
+		close(s.stopCh)
+	})
+	<-s.doneCh
+}
+
+func (s *Shipper) signalFlush() {
+	select {
+	case s.flushCh <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Shipper) loop() {
+	defer close(s.doneCh)
+	ticker := newWallTicker(s.linger)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			s.mu.Lock()
+			final := s.finalFlush && s.failed == nil
+			s.mu.Unlock()
+			if final {
+				s.flushOnce()
+			}
+			s.die(ErrStopped)
+			return
+		case <-s.flushCh:
+		case <-ticker.C:
+		}
+		if !s.flushOnce() {
+			return
+		}
+	}
+}
+
+// flushOnce performs one pass of the ship loop: roll the generation if
+// needed, then ship the pending chunk. Returns false when the shipper
+// is permanently dead (fenced or stopped). All OSS traffic happens
+// here, never under the shipper mutex and never in callers' goroutines.
+func (s *Shipper) flushOnce() bool {
+	s.mu.Lock()
+	if s.failed != nil {
+		s.mu.Unlock()
+		return false
+	}
+	if s.gen == 0 && s.maxOffered == 0 && s.archivedMark == 0 {
+		// Idle shard with no history: don't open a generation for it.
+		s.mu.Unlock()
+		return true
+	}
+	gapped := s.gapped
+	archived := s.archivedMark
+	gen := s.gen
+	s.mu.Unlock()
+
+	if gen == 0 || gapped || (s.chunksSinceSnap >= s.rollChunks && archived > s.snapBase) {
+		switch ok, err := s.roll(); {
+		case err != nil:
+			s.errs.Inc()
+			if errors.Is(err, ErrFenced) {
+				s.die(ErrFenced)
+				return false
+			}
+			s.failWaiters(err)
+			return true
+		case !ok:
+			// Source hasn't caught up to the shipped watermark yet;
+			// retry on the next tick.
+			return true
+		}
+	}
+	return s.shipChunk()
+}
+
+// roll opens a new generation: snapshot the shard, upload and
+// read-back-verify it, register it as CURRENT, then sweep older
+// generations. Returns (false, nil) when the source can't yet cover
+// the shipped watermark (transient; retry later).
+func (s *Shipper) roll() (bool, error) {
+	st, err := s.source()
+	if err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	watermark := s.watermark
+	maxOffered := s.maxOffered
+	gapped := s.gapped
+	s.mu.Unlock()
+	tip := st.Tip()
+	// A snapshot whose tip is behind what the current generation (or
+	// the commit stream, when gapped) already covers would leave a
+	// hole between snapshot and chunks that hydration can't cross.
+	if tip < watermark || (gapped && tip < maxOffered) {
+		return false, nil
+	}
+
+	gen, err := s.reg.Acquire(s.shard)
+	if err != nil {
+		return false, err
+	}
+	blob := encodeSnap(st)
+	key := snapKey(s.shard, gen)
+	if err := s.store.Put(key, blob); err != nil {
+		s.cleanup(gen)
+		return false, err
+	}
+	// Read back and verify before registering: register-last only
+	// guarantees atomicity if a registered generation's snapshot is
+	// beyond suspicion, even against a store that persisted a
+	// truncated object while acking the Put.
+	got, err := s.store.Get(key)
+	if err != nil {
+		s.cleanup(gen)
+		return false, err
+	}
+	if len(got) != len(blob) || crc32.Checksum(got, crcTable) != crc32.Checksum(blob, crcTable) {
+		s.cleanup(gen)
+		return false, fmt.Errorf("ship: snapshot read-back mismatch for %s", key)
+	}
+	if err := s.reg.Register(s.shard, gen); err != nil {
+		s.cleanup(gen)
+		return false, err
+	}
+
+	s.seq = 0
+	s.chunksSinceSnap = 0
+	s.snapBase = st.Applied
+	s.lastShippedMark = st.Applied
+	s.snaps.Inc()
+	s.rolls.Inc()
+
+	s.mu.Lock()
+	s.gen = gen
+	s.watermark = tip
+	s.gapped = false
+	drop := 0
+	for drop < len(s.pending) && s.pending[drop].Index <= tip {
+		s.pendingBytes -= int64(len(s.pending[drop].Data)) + entryOverhead
+		drop++
+	}
+	s.pending = append([]raft.Entry(nil), s.pending[drop:]...)
+	if len(s.pending) > 0 && s.pending[0].Index != tip+1 {
+		// Offers raced the roll and left a hole above the snapshot;
+		// force another roll rather than ship a discontiguous chunk.
+		s.pending = nil
+		s.pendingBytes = 0
+		s.gapped = true
+	}
+	if s.next < tip+1 {
+		s.next = tip + 1
+	}
+	s.mu.Unlock()
+	s.lastShipNano.Set(timeNow().UnixNano())
+	s.releaseReady()
+	// Older generations are now garbage — this is shipped-segment
+	// truncation. Best-effort: a missed delete is retried next roll.
+	if err := s.reg.Sweep(s.shard, gen); err != nil {
+		s.errs.Inc()
+	}
+	return true, nil
+}
+
+// shipChunk uploads the pending run as one chunk + commit record. An
+// empty chunk still ships when the archive mark advanced, so hydration
+// learns about rows that moved into LogBlocks since the snapshot.
+func (s *Shipper) shipChunk() bool {
+	s.mu.Lock()
+	if s.gapped {
+		s.mu.Unlock()
+		return true // roll on the next pass
+	}
+	var entries []raft.Entry
+	if len(s.pending) > 0 {
+		if s.pending[0].Index != s.watermark+1 {
+			s.gapped = true
+			s.mu.Unlock()
+			s.signalFlush()
+			return true
+		}
+		entries = append([]raft.Entry(nil), s.pending...)
+	}
+	mark := s.archivedMark
+	gen := s.gen
+	s.mu.Unlock()
+
+	if gen == 0 || (len(entries) == 0 && mark <= s.lastShippedMark) {
+		return true
+	}
+	if s.reg.Registered(s.shard) > gen {
+		s.die(ErrFenced)
+		return false
+	}
+	blob := encodeChunk(entries)
+	ckey := chunkKey(s.shard, gen, s.seq)
+	if err := s.store.Put(ckey, blob); err != nil {
+		s.errs.Inc()
+		s.failWaiters(err)
+		return true
+	}
+	// Cheap size probe before the commit record: a store that acked a
+	// truncated write must not get this chunk committed.
+	info, err := s.store.Head(ckey)
+	if err != nil {
+		s.errs.Inc()
+		s.failWaiters(err)
+		return true
+	}
+	if info.Size != int64(len(blob)) {
+		s.errs.Inc()
+		s.failWaiters(fmt.Errorf("ship: chunk %s stored %d of %d bytes", ckey, info.Size, len(blob)))
+		return true
+	}
+	rec := commitRecord{Bytes: int64(len(blob)), CRC: crc32.Checksum(blob, crcTable), Mark: mark}
+	if len(entries) > 0 {
+		rec.First = entries[0].Index
+		rec.Last = entries[len(entries)-1].Index
+	}
+	if s.reg.Registered(s.shard) > gen {
+		s.die(ErrFenced)
+		return false
+	}
+	if err := s.store.Put(commitKey(s.shard, gen, s.seq), encodeCommit(rec)); err != nil {
+		s.errs.Inc()
+		s.failWaiters(err)
+		return true
+	}
+
+	s.seq++
+	s.chunksSinceSnap++
+	s.lastShippedMark = mark
+	s.chunks.Inc()
+	s.lastShipNano.Set(timeNow().UnixNano())
+	if len(entries) > 0 {
+		last := entries[len(entries)-1].Index
+		s.mu.Lock()
+		if last > s.watermark {
+			s.watermark = last
+		}
+		drop := 0
+		for drop < len(s.pending) && s.pending[drop].Index <= last {
+			s.pendingBytes -= int64(len(s.pending[drop].Data)) + entryOverhead
+			drop++
+		}
+		s.pending = append([]raft.Entry(nil), s.pending[drop:]...)
+		s.mu.Unlock()
+	}
+	s.releaseReady()
+	return true
+}
+
+// releaseReady wakes barrier waiters whose target is now shipped.
+func (s *Shipper) releaseReady() {
+	s.mu.Lock()
+	var ready []waiter
+	keep := s.waiters[:0]
+	for _, w := range s.waiters {
+		if w.target <= s.watermark {
+			ready = append(ready, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	s.waiters = keep
+	s.mu.Unlock()
+	for _, w := range ready {
+		w.ch <- nil
+	}
+}
+
+// failWaiters errors every pending barrier: when a flush fails the
+// callers retry their appends (the re-commit is content-dedup'd)
+// instead of blocking on a dark object store.
+func (s *Shipper) failWaiters(err error) {
+	s.mu.Lock()
+	ws := s.waiters
+	s.waiters = nil
+	s.mu.Unlock()
+	for _, w := range ws {
+		w.ch <- err
+	}
+}
+
+// die marks the shipper permanently failed, drains waiters, and — when
+// fenced — deletes its own generation's objects so a lost handoff race
+// leaves nothing orphaned.
+func (s *Shipper) die(err error) {
+	s.mu.Lock()
+	if s.failed == nil {
+		s.failed = err
+	}
+	gen := s.gen
+	ws := s.waiters
+	s.waiters = nil
+	s.mu.Unlock()
+	for _, w := range ws {
+		w.ch <- err
+	}
+	if errors.Is(err, ErrFenced) && gen > 0 {
+		s.cleanup(gen)
+	}
+}
+
+// cleanup best-effort deletes a generation this shipper wrote but
+// which never became (or no longer is) CURRENT.
+func (s *Shipper) cleanup(gen uint64) {
+	if err := s.reg.DeleteGeneration(s.shard, gen); err != nil {
+		s.errs.Inc()
+	}
+}

@@ -10,6 +10,7 @@ package worker
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,7 @@ import (
 	"logstore/internal/raft"
 	"logstore/internal/rowstore"
 	"logstore/internal/schema"
+	"logstore/internal/ship"
 	"logstore/internal/wal"
 )
 
@@ -86,6 +88,12 @@ type Config struct {
 	CoalesceLinger time.Duration
 	// CoalesceDisabled reverts to one raft proposal per append.
 	CoalesceDisabled bool
+	// WALShip, when set, streams every shard's committed raft log into
+	// OSS (continuous WAL shipping) and hydrates shards whose data
+	// directory was wiped from the shipped generation. Requires
+	// replication (Replicas > 1) and a DataDir; all workers of a
+	// cluster must share the same Options.Registry.
+	WALShip *ship.Options
 }
 
 // ErrWorkerDown is returned by Append and the query entry points after
@@ -116,6 +124,9 @@ type Shard struct {
 	// co merges concurrent appends into group proposals; nil when the
 	// shard is unreplicated or coalescing is disabled.
 	co *coalescer
+	// shipper streams this shard's committed raft log into OSS; nil
+	// when WAL shipping is off.
+	shipper *ship.Shipper
 	// Apply-path observability. decodeFails / appendFails count subs
 	// replica 0 could not apply — both should stay zero outside crash
 	// tests, and a nonzero value means acked rows were dropped (the
@@ -225,18 +236,21 @@ func (g *raftGroup) stop() {
 	}
 }
 
-// dedupSet is a bounded FIFO set of batch ids (per shard). The bound
-// only limits how far back a retry can arrive and still be suppressed;
-// 64k batches is far beyond any client retry horizon.
+// dedupSet is a bounded FIFO set of batch ids (per shard), each tagged
+// with the raft index of its first apply. The bound only limits how
+// far back a retry can arrive and still be suppressed; 64k batches is
+// far beyond any client retry horizon. The index tag lets a shipped
+// snapshot export exactly the ids applied at or below its checkpoint
+// base — entries above the base carry their ids inline.
 type dedupSet struct {
 	mu    sync.Mutex
-	seen  map[uint64]struct{}
+	seen  map[uint64]uint64 // id -> raft index of first apply (0 = preloaded)
 	order []uint64
 	limit int
 }
 
 func newDedupSet(limit int) *dedupSet {
-	return &dedupSet{seen: make(map[uint64]struct{}), limit: limit}
+	return &dedupSet{seen: make(map[uint64]uint64), limit: limit}
 }
 
 func (d *dedupSet) Contains(id uint64) bool {
@@ -246,18 +260,33 @@ func (d *dedupSet) Contains(id uint64) bool {
 	return ok
 }
 
-func (d *dedupSet) Add(id uint64) {
+func (d *dedupSet) Add(id, index uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, ok := d.seen[id]; ok {
 		return
 	}
-	d.seen[id] = struct{}{}
+	d.seen[id] = index
 	d.order = append(d.order, id)
 	if len(d.order) > d.limit {
 		delete(d.seen, d.order[0])
 		d.order = d.order[1:]
 	}
+}
+
+// SnapshotBelow returns the ids first applied at or below maxIdx
+// (preloaded ids — index 0 — always qualify: they come from a prior
+// life's checkpointed prefix or a shipped snapshot).
+func (d *dedupSet) SnapshotBelow(maxIdx uint64) []uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]uint64, 0, len(d.order))
+	for _, id := range d.order {
+		if idx, ok := d.seen[id]; ok && idx <= maxIdx {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Worker is one execution-layer node.
@@ -287,6 +316,9 @@ type Worker struct {
 	// crashed marks an ungraceful stop: the final archive drain is
 	// skipped, abandoning in-memory rows exactly as SIGKILL would.
 	crashed atomic.Bool
+	// hydrations counts shards rebuilt from the shipped OSS log after
+	// disk loss (empty data dir + registered generation).
+	hydrations atomic.Int64
 }
 
 // New constructs a worker.
@@ -370,6 +402,20 @@ func (w *Worker) Capacity() float64 { return w.cfg.CapacityPerSec }
 // duplicate-suppression set preloaded from the replayed log, so batches
 // retried across the restart still apply exactly once.
 func (w *Worker) AddShard(id flow.ShardID) error {
+	w.mu.RLock()
+	_, exists := w.shards[id]
+	w.mu.RUnlock()
+	if exists {
+		return nil
+	}
+	// Disk-loss hydration happens before the worker lock: it reads OSS
+	// (latest shipped snapshot + chunk suffix) and rewrites the replica
+	// WAL directories, after which the normal recovery path below
+	// replays them exactly as if the disks had survived.
+	hydratedIDs, hydrated, err := w.maybeHydrateShard(id)
+	if err != nil {
+		return err
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if _, ok := w.shards[id]; ok {
@@ -415,7 +461,7 @@ func (w *Worker) AddShard(id flow.ShardID) error {
 				// Entries above the mark are NOT preloaded — they replay
 				// through the state machine and register there.
 				preload := func(bid uint64, _ []byte) error {
-					sh.seen.Add(bid)
+					sh.seen.Add(bid, 0)
 					return nil
 				}
 				for _, e := range ws.ReplayedPrefix() {
@@ -428,8 +474,31 @@ func (w *Worker) AddShard(id flow.ShardID) error {
 					_ = ForEachSub(e.Data, preload)
 				}
 			}
+		}
+		// A hydrated shard's checkpointed prefix is not replayable from
+		// the recovery WAL — its dedup ids traveled in the snapshot.
+		for _, bid := range hydratedIDs {
+			sh.seen.Add(bid, 0)
+		}
+		if w.cfg.WALShip != nil && w.cfg.DataDir != "" {
+			// The shipper expects the commit stream to resume just above
+			// the serving replica's recovered log tip; everything at or
+			// below it is covered by the first generation's snapshot.
+			bootTip := uint64(0)
+			if ws := g.wals[0]; ws != nil {
+				bootTip, _ = ws.Base()
+				if entries := ws.Entries(); len(entries) > 0 {
+					bootTip = entries[len(entries)-1].Index
+				}
+			}
+			sh.shipper = ship.New(*w.cfg.WALShip, int64(id), bootTip+1, w.shipSource(sh, g))
+		}
+		for i := range g.peers {
 			if err := w.startReplicaLocked(sh, g, raft.NodeID(i)); err != nil {
 				g.stop()
+				if sh.shipper != nil {
+					sh.shipper.Stop(false)
+				}
 				return err
 			}
 		}
@@ -438,8 +507,75 @@ func (w *Worker) AddShard(id flow.ShardID) error {
 			sh.co = newCoalescer(w, sh)
 		}
 	}
+	if hydrated {
+		w.hydrations.Add(1)
+	}
 	w.shards[id] = sh
 	return nil
+}
+
+// maybeHydrateShard rebuilds a shard's replica WALs from the shipped
+// OSS generation when the local data directory is empty (disk loss)
+// but a generation is registered. Returns the snapshot's dedup ids for
+// preloading. Runs before the worker lock: it does OSS reads and disk
+// writes that must not serialize the worker.
+func (w *Worker) maybeHydrateShard(id flow.ShardID) ([]uint64, bool, error) {
+	opts := w.cfg.WALShip
+	if opts == nil || opts.Registry == nil || w.cfg.Replicas <= 1 || w.cfg.DataDir == "" {
+		return nil, false, nil
+	}
+	dir := fmt.Sprintf("%s/shard-%d/replica-0", w.cfg.DataDir, id)
+	names, err := os.ReadDir(dir)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, false, err
+	}
+	if len(names) > 0 {
+		return nil, false, nil // local WAL survived: normal recovery
+	}
+	st, ok, _, err := ship.Hydrate(opts.Store, opts.Registry, int64(id))
+	if err != nil {
+		return nil, false, fmt.Errorf("worker %d shard %d: hydrate: %w", w.cfg.ID, id, err)
+	}
+	if !ok {
+		return nil, false, nil // nothing ever shipped: genuinely fresh shard
+	}
+	// Every replica gets an identical recovered WAL. Vote is None: the
+	// whole group lost its disks together, so no prior ballot survives
+	// to conflict with a fresh election.
+	for i := 0; i < w.cfg.Replicas; i++ {
+		rdir := fmt.Sprintf("%s/shard-%d/replica-%d", w.cfg.DataDir, id, i)
+		if err := raft.WriteRecoveryWAL(rdir, wal.Options{}, st.Term, raft.None,
+			st.Applied, st.AppliedTerm, st.Entries); err != nil {
+			return nil, false, fmt.Errorf("worker %d shard %d: recovery WAL: %w", w.cfg.ID, id, err)
+		}
+	}
+	return st.DedupIDs, true, nil
+}
+
+// shipSource snapshots the shard's logical state for a generation
+// roll: the serving replica's WAL base (= archive checkpoint), the
+// live entries above it, and the dedup ids at or below it — all under
+// the apply lock, so the cut is consistent with the archived row set.
+func (w *Worker) shipSource(sh *Shard, g *raftGroup) ship.Source {
+	return func() (ship.State, error) {
+		g.mu.Lock()
+		ws := g.wals[0]
+		g.mu.Unlock()
+		if ws == nil {
+			return ship.State{}, fmt.Errorf("worker %d shard %d: no durable serving WAL to snapshot", w.cfg.ID, sh.ID)
+		}
+		sh.applyMu.Lock()
+		defer sh.applyMu.Unlock()
+		term, _ := ws.InitialState()
+		base, baseTerm := ws.Base()
+		return ship.State{
+			Term:        term,
+			Applied:     base,
+			AppliedTerm: baseTerm,
+			DedupIDs:    sh.seen.SnapshotBelow(base),
+			Entries:     ws.Entries(),
+		}, nil
+	}
 }
 
 // startReplicaLocked builds replica i's state machine and raft node and
@@ -484,7 +620,7 @@ func (w *Worker) startReplicaLocked(sh *Shard, g *raftGroup, id raft.NodeID) err
 					return nil
 				}
 				if sh.rs.Append(rows...) == nil {
-					sh.seen.Add(bid)
+					sh.seen.Add(bid, index)
 					sh.appliedRows.Add(int64(len(rows)))
 				} else {
 					sh.appendFails.Add(1)
@@ -545,6 +681,14 @@ func (w *Worker) startReplicaLocked(sh *Shard, g *raftGroup, id raft.NodeID) err
 		// it applies nothing.
 		sm = raft.StateMachineFunc(func(uint64, []byte) {})
 	}
+	// Every replica offers its committed entries to the shard's
+	// shipper (before the proposer is acked); the shipper collapses
+	// the duplicate streams on index contiguity, so shipping keeps
+	// working as long as any replica is committing.
+	var hook func([]raft.Entry)
+	if sh.shipper != nil {
+		hook = sh.shipper.Offer
+	}
 	node, err := raft.NewNode(raft.Config{
 		ID:              id,
 		Peers:           g.peers,
@@ -557,6 +701,7 @@ func (w *Worker) startReplicaLocked(sh *Shard, g *raftGroup, id raft.NodeID) err
 		ApplyQueueItems: w.cfg.RaftApplyQueueItems,
 		ApplyQueueBytes: w.cfg.RaftApplyQueueBytes,
 		Seed:            int64(sh.ID)*101 + int64(i),
+		CommitHook:      hook,
 	})
 	if err != nil {
 		if stopc != nil {
@@ -633,6 +778,12 @@ func (w *Worker) appendValidated(sh *Shard, rows []schema.Row) error {
 	if sh.group == nil {
 		return sh.rs.Append(rows...)
 	}
+	if sh.shipper != nil && !w.cfg.WALShip.Sync && sh.shipper.Overloaded() {
+		// Async shipping bounds acked-but-unshipped exposure: once the
+		// backlog exceeds MaxBacklog (OSS down, breaker open), refuse
+		// new appends instead of growing local-only acked state.
+		return raft.ErrBackpressure
+	}
 	// Each sub-proposal carries a content-derived batch id so the state
 	// machine can suppress the same batch committing twice (a retry
 	// after an ambiguous leader death) even when coalescing regroups it.
@@ -661,7 +812,21 @@ func (w *Worker) proposeGroup(sh *Shard, data []byte) error {
 		}
 		if leader := sh.group.leader(); leader != nil {
 			err := leader.Propose(data)
-			if err == nil || err == raft.ErrBackpressure {
+			if err == nil {
+				if sh.shipper != nil && w.cfg.WALShip.Sync {
+					// Sync shipping: the ack must imply the rows are in
+					// OSS. The commit hook offered this group's entries
+					// before Propose returned, so the barrier covers
+					// them; the coalescer issues one propose per group,
+					// so the whole group shares one barrier wait. On
+					// error the caller retries and the re-commit dedups.
+					if berr := sh.shipper.Barrier(); berr != nil {
+						return fmt.Errorf("worker %d shard %d: ship barrier: %w", w.cfg.ID, sh.ID, berr)
+					}
+				}
+				return nil
+			}
+			if err == raft.ErrBackpressure {
 				return err
 			}
 			// ErrNotLeader: leadership moved mid-propose.
@@ -741,6 +906,53 @@ func (w *Worker) CoalesceStats() (groups, batches int64) {
 	}
 	return groups, batches
 }
+
+// ShipSummary aggregates WAL-shipping observability across a worker's
+// shards: the exposure window (unshipped bytes/entries, oldest
+// last-ship age) plus lifetime ship counters.
+type ShipSummary struct {
+	Shards           int
+	UnshippedBytes   int64
+	UnshippedEntries int64
+	MaxLastShipAge   time.Duration
+	Chunks           int64
+	Snapshots        int64
+	Rolls            int64
+	Errors           int64
+	Fenced           int
+}
+
+// ShipStats sums shipping stats across shards (zero value when WAL
+// shipping is off).
+func (w *Worker) ShipStats() ShipSummary {
+	var out ShipSummary
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	for _, sh := range w.shards {
+		if sh.shipper == nil {
+			continue
+		}
+		st := sh.shipper.Stats()
+		out.Shards++
+		out.UnshippedBytes += st.UnshippedBytes
+		out.UnshippedEntries += st.UnshippedEntries
+		if st.LastShipAge > out.MaxLastShipAge {
+			out.MaxLastShipAge = st.LastShipAge
+		}
+		out.Chunks += st.Chunks
+		out.Snapshots += st.Snapshots
+		out.Rolls += st.Rolls
+		out.Errors += st.Errors
+		if st.Fenced {
+			out.Fenced++
+		}
+	}
+	return out
+}
+
+// Hydrations reports how many shards this worker rebuilt from the
+// shipped OSS log (disk-loss recovery).
+func (w *Worker) Hydrations() int64 { return w.hydrations.Load() }
 
 // QueryRealtime executes a query over one shard's row store (the
 // not-yet-archived data), returning a partial result.
@@ -983,6 +1195,12 @@ func (w *Worker) drainShardLocked(sh *Shard) error {
 				_ = ws.Checkpoint(appliedBefore)
 			}
 		}
+		if sh.shipper != nil {
+			// Rows at or below appliedBefore are in LogBlocks now; the
+			// mark rides in shipped commit records so hydration never
+			// re-applies them, and it gates the next generation roll.
+			sh.shipper.NoteArchived(appliedBefore)
+		}
 	}
 	return nil
 }
@@ -1102,6 +1320,13 @@ func (w *Worker) shutdown(graceful bool) {
 				// Drain queued appends first: their proposes fail fast
 				// now that down is set, unblocking every waiting caller.
 				sh.co.close()
+			}
+			if sh.shipper != nil {
+				// Graceful close flushes the remaining backlog to OSS;
+				// a crash abandons it (the exposure window a recovery
+				// must tolerate). Stopped before the raft group so the
+				// final snapshot can still read the serving WAL.
+				sh.shipper.Stop(graceful)
 			}
 			if sh.group != nil {
 				sh.group.stop()

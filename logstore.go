@@ -22,6 +22,7 @@ package logstore
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,7 @@ import (
 	"logstore/internal/raft"
 	"logstore/internal/rowstore"
 	"logstore/internal/schema"
+	"logstore/internal/ship"
 	"logstore/internal/worker"
 )
 
@@ -147,6 +149,28 @@ type Config struct {
 	// DataDir, when set, puts every shard replica's raft log on disk
 	// (WAL-backed) under DataDir/worker-N/, surviving process restarts.
 	DataDir string
+	// ShipWAL continuously streams every shard's committed raft log
+	// into object storage as generation-scoped snapshot + chunk objects
+	// under wal/<shard>/, making OSS the only durable truth: a worker
+	// whose DataDir was wiped (total disk loss) hydrates its shards
+	// entirely from the shipped state on recovery. Requires DataDir and
+	// Replicas > 1.
+	ShipWAL bool
+	// ShipSync blocks each append group until its entries are archived
+	// in OSS (zero acked-but-unshipped exposure, higher ack latency).
+	// When false shipping is asynchronous: acked entries ride the next
+	// chunk upload, bounded by ShipLinger / ShipMaxBytes.
+	ShipSync bool
+	// ShipLinger bounds how long acked entries may wait before the next
+	// asynchronous chunk upload (0 = 100 ms).
+	ShipLinger time.Duration
+	// ShipMaxBytes flushes a chunk early once this many pending bytes
+	// accumulate (0 = 1 MiB).
+	ShipMaxBytes int64
+	// ShipMaxBacklog caps acked-but-unshipped bytes per shard; beyond
+	// it (object store unreachable) async appends see backpressure
+	// until the shipper drains (0 = 16 MiB).
+	ShipMaxBacklog int64
 	// RaftQueueItems bounds each shard's Raft sync/apply queues (BFC);
 	// 0 keeps raft defaults. Small values trip backpressure earlier.
 	RaftQueueItems int
@@ -217,11 +241,12 @@ func (c *Config) withDefaults() Config {
 
 // Cluster is an embedded LogStore deployment.
 type Cluster struct {
-	cfg     Config
-	sch     *schema.Schema
-	store   oss.Store
-	catalog *meta.Manager
-	ctrl    *controller.Controller
+	cfg      Config
+	sch      *schema.Schema
+	store    oss.Store
+	catalog  *meta.Manager
+	ctrl     *controller.Controller
+	shipGens *ship.Registry // nil unless ShipWAL
 
 	mu         sync.RWMutex
 	workers    map[flow.WorkerID]*worker.Worker
@@ -240,6 +265,7 @@ type Cluster struct {
 	crashes     metrics.Counter
 	recoveries  metrics.Counter
 	leaderKills metrics.Counter
+	wipes       metrics.Counter
 
 	closed atomic.Bool
 }
@@ -249,6 +275,9 @@ func Open(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Schema.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.ShipWAL && (cfg.DataDir == "" || cfg.Replicas <= 1) {
+		return nil, fmt.Errorf("logstore: ShipWAL requires DataDir and Replicas > 1")
 	}
 	c := &Cluster{
 		cfg: cfg,
@@ -263,6 +292,11 @@ func Open(cfg Config) (*Cluster, error) {
 		health:     flow.NewHealthTracker(cfg.HeartbeatMisses),
 		hbStop:     make(chan struct{}),
 		hbDone:     make(chan struct{}),
+	}
+	if cfg.ShipWAL {
+		// One cluster-wide generation registry: workers racing to ship
+		// the same shard (recovery overlap) fence each other through it.
+		c.shipGens = ship.NewRegistry(c.store)
 	}
 	// Started before any fallible step: Close waits on the loop, and
 	// Open's error paths all go through Close. The loop reads c.workers
@@ -286,6 +320,7 @@ func Open(cfg Config) (*Cluster, error) {
 		BalanceInterval: cfg.BalanceInterval,
 		ExpireInterval:  cfg.ExpireInterval,
 		CheckpointKey:   "meta/checkpoint.json",
+		ShipGens:        c.shipGens,
 	}, c.topologyLocked(), nil, c.catalog, c.store, c.scaleOut)
 	if err != nil {
 		c.Close()
@@ -394,6 +429,17 @@ func (c *Cluster) newWorkerLocked(id flow.WorkerID) (*worker.Worker, error) {
 	if c.cfg.DataDir != "" {
 		dataDir = fmt.Sprintf("%s/worker-%d", c.cfg.DataDir, id)
 	}
+	var walShip *ship.Options
+	if c.cfg.ShipWAL {
+		walShip = &ship.Options{
+			Store:      c.store,
+			Registry:   c.shipGens,
+			Sync:       c.cfg.ShipSync,
+			Linger:     c.cfg.ShipLinger,
+			MaxBytes:   c.cfg.ShipMaxBytes,
+			MaxBacklog: c.cfg.ShipMaxBacklog,
+		}
+	}
 	w, err := worker.New(worker.Config{
 		ID:               id,
 		CapacityPerSec:   c.cfg.WorkerCapacityPerSec,
@@ -418,6 +464,7 @@ func (c *Cluster) newWorkerLocked(id flow.WorkerID) (*worker.Worker, error) {
 		CoalesceMaxBytes:    c.cfg.CoalesceMaxBytes,
 		CoalesceLinger:      c.cfg.CoalesceLinger,
 		CoalesceDisabled:    c.cfg.CoalesceDisabled,
+		WALShip:             walShip,
 	}, c.sch, c.store, c.catalog)
 	if err != nil {
 		return nil, err
@@ -768,6 +815,31 @@ func (c *Cluster) CrashWorker(id flow.WorkerID) error {
 	return nil
 }
 
+// CrashWorkerWipeDisk kills a worker ungracefully AND destroys its
+// local state — the raft WALs under DataDir/worker-N and its SSD cache
+// — simulating the total loss of a cloud instance's disk, not just the
+// process. RecoverWorker then finds nothing local to replay: with
+// ShipWAL enabled it hydrates every hosted shard from the shipped WAL
+// (latest snapshot + chunk suffix) on object storage alone.
+func (c *Cluster) CrashWorkerWipeDisk(id flow.WorkerID) error {
+	if c.cfg.DataDir == "" {
+		return fmt.Errorf("logstore: CrashWorkerWipeDisk requires DataDir")
+	}
+	if err := c.CrashWorker(id); err != nil {
+		return err
+	}
+	if err := os.RemoveAll(fmt.Sprintf("%s/worker-%d", c.cfg.DataDir, id)); err != nil {
+		return fmt.Errorf("logstore: wipe worker %d data: %w", id, err)
+	}
+	if c.cfg.CacheDir != "" {
+		if err := os.RemoveAll(fmt.Sprintf("%s/worker-%d", c.cfg.CacheDir, id)); err != nil {
+			return fmt.Errorf("logstore: wipe worker %d cache: %w", id, err)
+		}
+	}
+	c.wipes.Inc()
+	return nil
+}
+
 // RecoverWorker rebuilds a crashed worker in place: a fresh node with
 // the same id and DataDir re-opens every hosted shard's raft WAL,
 // replays un-archived entries into a new row store, and resumes
@@ -877,6 +949,17 @@ type RecoveryStats struct {
 	Failovers   int64 `json:"failovers"`
 	Hedges      int64 `json:"hedges"`
 	Reroutes    int64 `json:"reroutes"`
+	// Disk-loss durability (ShipWAL): wipes injected, shards hydrated
+	// from OSS, lifetime ship counters, and the current exposure window
+	// (acked rows not yet readable from OSS alone).
+	Wipes            int64 `json:"wipes"`
+	Hydrations       int64 `json:"hydrations"`
+	ShipChunks       int64 `json:"ship_chunks"`
+	ShipSnapshots    int64 `json:"ship_snapshots"`
+	ShipErrors       int64 `json:"ship_errors"`
+	UnshippedBytes   int64 `json:"unshipped_bytes"`
+	UnshippedEntries int64 `json:"unshipped_entries"`
+	MaxLastShipAgeMS int64 `json:"max_last_ship_age_ms"`
 }
 
 // RecoveryStats returns the current failure-handling counters.
@@ -885,6 +968,7 @@ func (c *Cluster) RecoveryStats() RecoveryStats {
 		Crashes:     c.crashes.Value(),
 		Recoveries:  c.recoveries.Value(),
 		LeaderKills: c.leaderKills.Value(),
+		Wipes:       c.wipes.Value(),
 	}
 	for _, b := range c.brokers {
 		f, h, r := b.Stats()
@@ -892,6 +976,23 @@ func (c *Cluster) RecoveryStats() RecoveryStats {
 		s.Hedges += h
 		s.Reroutes += r
 	}
+	c.mu.RLock()
+	for _, w := range c.workers {
+		s.Hydrations += w.Hydrations()
+		if !w.Alive() {
+			continue
+		}
+		ss := w.ShipStats()
+		s.ShipChunks += ss.Chunks
+		s.ShipSnapshots += ss.Snapshots
+		s.ShipErrors += ss.Errors
+		s.UnshippedBytes += ss.UnshippedBytes
+		s.UnshippedEntries += ss.UnshippedEntries
+		if ms := ss.MaxLastShipAge.Milliseconds(); ms > s.MaxLastShipAgeMS {
+			s.MaxLastShipAgeMS = ms
+		}
+	}
+	c.mu.RUnlock()
 	return s
 }
 
