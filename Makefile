@@ -2,13 +2,14 @@ GO ?= go
 FUZZTIME ?= 10s
 CHAOS_SEED ?= 2026
 
-.PHONY: check fmt vet build test race lint lint-baseline fuzz chaos chaos-short chaos-wipe chaos-wipe-short bench bench-all benchdiff soak soak-short soak-baseline clean
+.PHONY: check fmt vet build test race lint lint-baseline fuzz chaos chaos-short chaos-wipe chaos-wipe-short chaos-brownout chaos-brownout-short bench bench-all benchdiff soak soak-short soak-baseline clean
 
 ## check: the tier-1 gate — formatting, vet, build, race-enabled tests,
 ## plus the repo's own invariant linter, a short fuzz pass over every
-## untrusted decode surface, the short node-failure and disk-wipe chaos
-## runs, and a short sustained-load soak with exactly-once accounting.
-check: fmt vet build race lint fuzz chaos-short chaos-wipe-short soak-short
+## untrusted decode surface, the short node-failure, disk-wipe and
+## brownout chaos runs, and a short sustained-load soak with
+## exactly-once accounting.
+check: fmt vet build race lint fuzz chaos-short chaos-wipe-short chaos-brownout-short soak-short
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -78,6 +79,21 @@ chaos-wipe-short:
 	LOGSTORE_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -short \
 		-run 'TestChaosDiskWipe' -timeout 120s .
 
+## chaos-brownout: the gray-failure gate — nothing crashes, but one
+## worker's OSS reads stall, one replica lags its applies, and one
+## tenant floods at ~10x its admission budget. Healthy tenants' query
+## p99 must stay within 3x baseline, the memory proxy bounded, the
+## flood shed with Retry-After, and exactly-once accounting intact.
+chaos-brownout:
+	LOGSTORE_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -v \
+		-run 'TestChaosBrownout|TestQueryExpiredDeadlineSkipsOSS|TestCanceledQueriesReleaseCapacity' \
+		-timeout 300s .
+
+## chaos-brownout-short: the reduced brownout run folded into `make check`.
+chaos-brownout-short:
+	LOGSTORE_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -short \
+		-run 'TestChaosBrownout' -timeout 120s .
+
 ## bench: the micro-benchmarks tracked across perf PRs; writes
 ## BENCH_scan.json (query path) and BENCH_ingest.json (write path) with
 ## ns/op, B/op, allocs/op per bench. Commit the refreshed JSON when a
@@ -94,9 +110,9 @@ bench:
 ## ns/op or allocs/op regression against the committed baselines,
 ## then re-run the full soak and gate BENCH_soak.json throughput,
 ## and bound the WAL-shipping overhead against a durable baseline.
-benchdiff: benchdiff-micro benchdiff-soak benchdiff-ship
+benchdiff: benchdiff-micro benchdiff-soak benchdiff-ship benchdiff-admission
 
-.PHONY: benchdiff-micro benchdiff-soak benchdiff-ship
+.PHONY: benchdiff-micro benchdiff-soak benchdiff-ship benchdiff-admission
 benchdiff-micro:
 	$(GO) test -bench 'BenchmarkScan|BenchmarkMaterialize|BenchmarkCountStar' \
 		-benchmem -run '^$$' ./internal/query/ > /tmp/benchdiff_scan.txt
@@ -125,6 +141,25 @@ benchdiff-ship:
 		-writers 4 -readers 1 -ship -out /tmp/bench_soak_ship.json
 	$(GO) run ./cmd/benchdiff -mode soak -max-regress 50 \
 		-base /tmp/bench_soak_durable.json -new /tmp/bench_soak_ship.json
+
+## benchdiff-admission: admission-overhead gate. The ingest throughput
+## benchmark runs back to back — plain, then with admission control
+## enabled at budgets far above the offered load — and the admitted
+## min-of-5 must land within 3% ns/op of the plain min-of-5: per-tenant
+## token buckets may cost bookkeeping, never throughput. (Min-of-N on
+## both sides squeezes scheduler noise out of a gate this tight.) The
+## admitted run is also held to the committed BENCH_ingest.json
+## baseline at the standard micro tolerance.
+benchdiff-admission:
+	$(GO) test -bench 'BenchmarkIngestThroughput$$' -count 5 \
+		-benchmem -benchtime 1s -run '^$$' . > /tmp/bench_admit_off.txt
+	$(GO) run ./cmd/benchjson -best < /tmp/bench_admit_off.txt > /tmp/bench_admit_off.json
+	LOGSTORE_BENCH_ADMIT=1 $(GO) test -bench 'BenchmarkIngestThroughput$$' -count 5 \
+		-benchmem -benchtime 1s -run '^$$' . > /tmp/bench_admit_on.txt
+	$(GO) run ./cmd/benchjson -best < /tmp/bench_admit_on.txt > /tmp/bench_admit_on.json
+	$(GO) run ./cmd/benchdiff -max-regress 3 \
+		-base /tmp/bench_admit_off.json -new /tmp/bench_admit_on.json
+	$(GO) run ./cmd/benchdiff -base BENCH_ingest.json -new /tmp/bench_admit_on.json
 
 ## bench-all: every benchmark in the tree, one iteration (smoke).
 bench-all:

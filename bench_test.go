@@ -10,6 +10,7 @@ package logstore
 
 import (
 	"fmt"
+	"os"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -132,13 +133,23 @@ func BenchmarkFig17OverallLatency(b *testing.B) {
 // embedded (unreplicated) cluster: rows/sec through broker routing,
 // shard row stores, and traffic accounting.
 func BenchmarkIngestThroughput(b *testing.B) {
-	c, err := Open(Config{
+	cfg := Config{
 		Workers:         2,
 		ShardsPerWorker: 2,
 		Replicas:        1,
 		ArchiveInterval: time.Hour, // keep the bench about the write path
 		MaxSegmentRows:  1 << 20,
-	})
+	}
+	// LOGSTORE_BENCH_ADMIT=1 layers admission control over the same
+	// write path with budgets far above the offered load: the A/B gate
+	// (`make benchdiff-admission`) bounds the bookkeeping cost of
+	// admission itself, with shedding never triggered.
+	if os.Getenv("LOGSTORE_BENCH_ADMIT") == "1" {
+		cfg.AdmitTenantRowsPerSec = 1e12
+		cfg.AdmitTenantBytesPerSec = 1e15
+		cfg.AdmitGlobalBytes = 1 << 50
+	}
+	c, err := Open(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

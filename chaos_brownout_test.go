@@ -1,0 +1,320 @@
+package logstore
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"logstore/internal/chaos"
+	"logstore/internal/flow"
+	"logstore/internal/oss"
+	"logstore/internal/workload"
+)
+
+// tenantRows builds n rows for one tenant.
+func tenantRows(tenant int64, n int, seed int64) []Row {
+	g := workload.NewGenerator(workload.GeneratorConfig{
+		Tenants: int(tenant) + 1, Theta: 0, Seed: seed, StartMS: 1_000,
+	})
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = g.RowForTenant(tenant)
+	}
+	return rows
+}
+
+// The cluster is the brownout harness's target.
+var _ chaos.BrownoutTarget = (*Cluster)(nil)
+
+func brownoutSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := int64(2026)
+	if v := os.Getenv("LOGSTORE_CHAOS_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("LOGSTORE_CHAOS_SEED: %v", err)
+		}
+		seed = n
+	}
+	return seed
+}
+
+// TestChaosBrownout is the gray-failure gate (`make chaos-brownout`):
+// nothing crashes, but one worker's object store stalls on reads, one
+// shard's serving replica lags its applies, and one tenant floods at
+// roughly ten times its admission budget — all at once. The cluster
+// must degrade gracefully, not collapse: healthy tenants' query p99
+// stays within 3x its pre-fault baseline (hedging + slow-worker
+// steering route around the stalled store), the memory proxy stays
+// bounded (backpressure rejects instead of buffering), the flooding
+// tenant is shed with a retry hint rather than breaking others, and
+// the exactly-once ledger holds through the whole episode.
+func TestChaosBrownout(t *testing.T) {
+	seed := brownoutSeed(t)
+
+	var (
+		flakyMu sync.Mutex
+		flaky   *oss.FlakyStore // worker 0's view of OSS
+	)
+	cfg := fastConfig()
+	cfg.Workers = 3
+	cfg.ShardsPerWorker = 2
+	cfg.Replicas = 2 // raft apply path live, so slow-apply injection bites
+	cfg.CacheMemoryBytes = 8 << 20
+	cfg.HeartbeatInterval = 10 * time.Millisecond
+	cfg.HedgeDelay = 20 * time.Millisecond
+	cfg.SlowWorkerThreshold = 40 * time.Millisecond
+	cfg.AdmitTenantRowsPerSec = 500
+	cfg.AdmitGlobalBytes = 32 << 20
+	cfg.WorkerStoreWrap = func(id flow.WorkerID, s oss.Store) oss.Store {
+		if id != 0 {
+			return s
+		}
+		flakyMu.Lock()
+		defer flakyMu.Unlock()
+		flaky = oss.NewFlakyStore(s, 0, 0, seed)
+		return flaky
+	}
+	c := openCluster(t, cfg)
+
+	bcfg := chaos.BrownoutConfig{
+		Seed:             seed,
+		Tenants:          3,
+		PreloadRows:      400,
+		BaselineQueries:  60,
+		BrownoutQueries:  60,
+		QueryDeadline:    2 * time.Second,
+		QueryPace:        25 * time.Millisecond, // ~1.5s fault window for the flood to run in
+		HotBatchRows:     250,                   // ~20 retries/s x 250 rows = ~10x the 500 rows/s bucket
+		HealthyBatchRows: 20,
+		HealthyPace:      100 * time.Millisecond,
+		SlowShard:        c.ShardIDs()[len(c.ShardIDs())-1],
+		SlowApplyDelay:   2 * time.Millisecond,
+		InjectFaults: func() {
+			flakyMu.Lock()
+			defer flakyMu.Unlock()
+			flaky.StallNextGets(500, 120*time.Millisecond)
+			flaky.SetTailLatency(0.35, 80*time.Millisecond)
+		},
+		HealFaults: func() {
+			flakyMu.Lock()
+			defer flakyMu.Unlock()
+			flaky.StallNextGets(0, 0)
+			flaky.SetTailLatency(0, 0)
+		},
+		Settle: func() error {
+			if err := c.Flush(); err != nil {
+				return err
+			}
+			if resident := c.WaitForArchive(10 * time.Second); resident != 0 {
+				t.Fatalf("preload did not archive: %d rows resident", resident)
+			}
+			return nil
+		},
+		StartMS: 1_000,
+		Logf:    t.Logf,
+	}
+	if testing.Short() {
+		bcfg.PreloadRows = 200
+		bcfg.BaselineQueries = 30
+		bcfg.BrownoutQueries = 30
+	}
+
+	rep, err := chaos.RunBrownout(c, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The faults must actually have fired: reads stalled on worker 0,
+	// and the hot tenant was shed at least once.
+	if n := flaky.InjectedStalls(); n == 0 {
+		t.Fatal("no OSS read was ever stalled — the gray failure never fired")
+	}
+	if rep.HotShed == 0 {
+		t.Fatalf("hot tenant was never shed (acked %d rows) — admission idle", rep.HotAcked)
+	}
+	if rep.HotAcked == 0 {
+		t.Fatal("hot tenant never acked a batch — shed must delay, not starve")
+	}
+
+	// Healthy tenants' p99 during the brownout stays within 3x baseline.
+	// The floor keeps the bound meaningful when the baseline is only a
+	// few milliseconds: hedged sub-queries cost up to ~HedgeDelay extra.
+	floor := 50 * time.Millisecond
+	base := rep.BaselineP99
+	if base < floor {
+		base = floor
+	}
+	if rep.BrownoutP99 > 3*base {
+		t.Fatalf("healthy p99 %v during brownout, want <= 3x max(baseline %v, %v)",
+			rep.BrownoutP99, rep.BaselineP99, floor)
+	}
+	if rep.QueryFailures > bcfg.BrownoutQueries/10 {
+		t.Fatalf("%d/%d healthy queries missed a 2s deadline during brownout",
+			rep.QueryFailures, bcfg.BrownoutQueries)
+	}
+
+	// Degradation must show up as rejections, not memory growth: the
+	// proxy (raft queues + ship backlog + caches + admitted in-flight
+	// bytes) stays far below what an unbounded queue would reach.
+	if rep.MaxMemory == 0 {
+		t.Fatal("memory proxy never sampled above zero")
+	}
+	if limit := int64(192 << 20); rep.MaxMemory > limit {
+		t.Fatalf("memory proxy peaked at %d bytes (limit %d) — a queue grew without bound",
+			rep.MaxMemory, limit)
+	}
+
+	// Exactly-once through the whole episode: every acked row (preload,
+	// steady healthy ingest, every eventually-admitted hot batch) is
+	// counted once after heal.
+	if err := chaos.VerifyCounts(c, c.TableSchema(), rep.Acked, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := c.RecoveryStats()
+	if stats.Shed == 0 {
+		t.Fatalf("broker shed counter zero after brownout: %+v", stats)
+	}
+	if stats.Admitted == 0 {
+		t.Fatalf("admission admitted counter zero after brownout: %+v", stats)
+	}
+}
+
+// TestQueryExpiredDeadlineSkipsOSS: a query arriving with an already
+// expired deadline is refused at the door — no object-store read may
+// happen on its behalf. A control query afterwards proves the same
+// data does cost OSS reads when the deadline allows work.
+func TestQueryExpiredDeadlineSkipsOSS(t *testing.T) {
+	var stats oss.Stats
+	cfg := fastConfig()
+	cfg.ArchiveInterval = time.Hour // only the explicit Flush archives
+	cfg.Store = oss.NewCountingStore(oss.NewMemStore(), &stats)
+	c := openCluster(t, cfg)
+
+	rows := tenantRows(3, 500, 1)
+	if err := c.Append(rows...); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if resident := c.WaitForArchive(10 * time.Second); resident != 0 {
+		t.Fatalf("%d rows still resident after flush", resident)
+	}
+
+	reads := func() int64 {
+		return stats.Gets.Value() + stats.RangeGets.Value() +
+			stats.Heads.Value() + stats.Lists.Value()
+	}
+	before := reads()
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 1))
+	defer cancel()
+	_, err := c.QueryContext(ctx, "SELECT COUNT(*) FROM request_log WHERE tenant_id = 3 AND ts >= 0")
+	if err != context.DeadlineExceeded {
+		t.Fatalf("expired-deadline query: err = %v, want context.DeadlineExceeded", err)
+	}
+	if after := reads(); after != before {
+		t.Fatalf("expired-deadline query touched OSS: %d reads before, %d after", before, after)
+	}
+	if got := c.RecoveryStats().DeadlineExpired; got == 0 {
+		t.Fatal("deadline_expired counter not incremented")
+	}
+
+	res, err := c.Query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 3 AND ts >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 500 {
+		t.Fatalf("control query count = %d, want 500", res.Count)
+	}
+	if after := reads(); after == before {
+		t.Fatal("control query performed no OSS reads — the counter would not have caught a leak")
+	}
+}
+
+// TestCanceledQueriesReleaseCapacity: queries killed mid-flight by
+// their deadlines must release every worker concurrency slot and cache
+// reference they held. With QueryConcurrency 2 and every OSS read
+// stalled, a storm of doomed queries would wedge the cluster for good
+// if even one slot leaked; the clean query afterwards proves none did.
+func TestCanceledQueriesReleaseCapacity(t *testing.T) {
+	seed := brownoutSeed(t)
+	var (
+		flakyMu sync.Mutex
+		flakies []*oss.FlakyStore
+	)
+	cfg := fastConfig()
+	cfg.QueryConcurrency = 2
+	cfg.CacheMemoryBytes = 8 << 20
+	cfg.WorkerStoreWrap = func(id flow.WorkerID, s oss.Store) oss.Store {
+		f := oss.NewFlakyStore(s, 0, 0, seed+int64(id))
+		flakyMu.Lock()
+		defer flakyMu.Unlock()
+		flakies = append(flakies, f)
+		return f
+	}
+	c := openCluster(t, cfg)
+
+	rows := tenantRows(5, 600, seed)
+	if err := c.Append(rows...); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if resident := c.WaitForArchive(10 * time.Second); resident != 0 {
+		t.Fatalf("%d rows still resident after flush", resident)
+	}
+
+	stallAll := func(n int, d time.Duration) {
+		flakyMu.Lock()
+		defer flakyMu.Unlock()
+		for _, f := range flakies {
+			f.StallNextGets(n, d)
+		}
+	}
+	stallAll(10_000, 300*time.Millisecond)
+
+	const storm = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, storm)
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			defer cancel()
+			_, err := c.QueryContext(ctx, "SELECT COUNT(*) FROM request_log WHERE tenant_id = 5 AND ts >= 0")
+			errc <- err
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err == nil {
+			t.Fatal("a 30ms query succeeded against 300ms-stalled reads")
+		}
+	}
+	if got := c.RecoveryStats().DeadlineExpired + c.RecoveryStats().Canceled; got == 0 {
+		t.Fatal("no query was counted canceled/expired during the storm")
+	}
+
+	stallAll(0, 0)
+	res, err := c.Query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 5 AND ts >= 0")
+	if err != nil {
+		t.Fatalf("clean query after cancellation storm: %v (leaked concurrency slot?)", err)
+	}
+	if res.Count != 600 {
+		t.Fatalf("clean query count = %d, want 600", res.Count)
+	}
+	// Cache references died with their queries: the proxy sits within
+	// the configured cache capacities, not storm-inflated.
+	if m := c.MemoryProxy(); m > 128<<20 {
+		t.Fatalf("memory proxy %d bytes after storm — canceled queries pinned cache state", m)
+	}
+}

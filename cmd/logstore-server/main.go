@@ -31,15 +31,18 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 3, "worker nodes")
-		shards   = flag.Int("shards-per-worker", 4, "shards per worker")
-		replicas = flag.Int("replicas", 3, "raft replicas per shard")
-		balance  = flag.Duration("balance-interval", 30*time.Second, "hotspot manager cadence")
-		expire   = flag.Duration("expire-interval", time.Minute, "retention enforcement cadence")
-		cacheDir = flag.String("cache-dir", "", "SSD block-cache directory (empty = memory only)")
-		dataDir  = flag.String("data-dir", "", "durable raft-WAL directory (empty = in-memory raft logs)")
-		storeDir = flag.String("store-dir", "", "directory-backed object store (empty = in-memory; set for durable LogBlocks)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 3, "worker nodes")
+		shards     = flag.Int("shards-per-worker", 4, "shards per worker")
+		replicas   = flag.Int("replicas", 3, "raft replicas per shard")
+		balance    = flag.Duration("balance-interval", 30*time.Second, "hotspot manager cadence")
+		expire     = flag.Duration("expire-interval", time.Minute, "retention enforcement cadence")
+		cacheDir   = flag.String("cache-dir", "", "SSD block-cache directory (empty = memory only)")
+		dataDir    = flag.String("data-dir", "", "durable raft-WAL directory (empty = in-memory raft logs)")
+		storeDir   = flag.String("store-dir", "", "directory-backed object store (empty = in-memory; set for durable LogBlocks)")
+		admitRows  = flag.Float64("admit-rows-per-sec", 0, "per-tenant admission budget in rows/s (0 = unlimited)")
+		admitBytes = flag.Float64("admit-bytes-per-sec", 0, "per-tenant admission budget in bytes/s (0 = unlimited)")
+		admitTotal = flag.Int64("admit-global-bytes", 0, "global in-flight append byte budget (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -60,6 +63,10 @@ func main() {
 		ExpireInterval:  *expire,
 		CacheDir:        *cacheDir,
 		DataDir:         *dataDir,
+
+		AdmitTenantRowsPerSec:  *admitRows,
+		AdmitTenantBytesPerSec: *admitBytes,
+		AdmitGlobalBytes:       *admitTotal,
 	})
 	if err != nil {
 		log.Fatal(err)

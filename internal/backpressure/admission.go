@@ -1,0 +1,293 @@
+package backpressure
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"logstore/internal/metrics"
+)
+
+// This file is the admission-control half of flow control: where Queue
+// bounds memory *inside* the pipeline, Admission bounds what enters it,
+// per tenant. Each tenant gets a rows/s and a bytes/s token bucket; a
+// global in-flight byte budget caps the aggregate. A tenant that
+// exceeds its buckets is shed with ErrOverloaded — carrying a
+// RetryAfter hint — before its batch allocates queue space, so one hot
+// tenant saturates its own buckets instead of everyone's queues
+// (FoundationDB Record Layer's lesson: per-tenant throttling is what
+// makes multi-tenancy safe). When the health tracker reports a
+// fraction of workers as slow (gray failure, not fail-stop), effective
+// rates shrink proportionally: the cluster sheds at the door the work
+// its degraded capacity could only have queued.
+
+// ErrOverloaded reports an admission rejection. RetryAfter is the
+// bucket's estimate of when the same request would be admitted — the
+// HTTP surface maps it onto a 429 Retry-After header.
+type ErrOverloaded struct {
+	// Tenant is the shed tenant (meaningless for global-budget
+	// rejections, whose Scope is "global-bytes").
+	Tenant int64
+	// Scope names the exhausted limit: "tenant-rows", "tenant-bytes",
+	// or "global-bytes".
+	Scope string
+	// RetryAfter estimates how long until the request would fit.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ErrOverloaded) Error() string {
+	if e.Scope == "global-bytes" {
+		return fmt.Sprintf("backpressure: overloaded (%s), retry after %v", e.Scope, e.RetryAfter)
+	}
+	return fmt.Sprintf("backpressure: tenant %d overloaded (%s), retry after %v", e.Tenant, e.Scope, e.RetryAfter)
+}
+
+// AdmissionConfig sizes the admission layer. Zero-valued rate fields
+// disable that check, so the zero config admits everything.
+type AdmissionConfig struct {
+	// TenantRowsPerSec is each tenant's sustained append rate in rows/s
+	// (0 = unlimited).
+	TenantRowsPerSec float64
+	// TenantBytesPerSec is each tenant's sustained append rate in
+	// bytes/s (0 = unlimited).
+	TenantBytesPerSec float64
+	// BurstSeconds sizes bucket capacity as rate×BurstSeconds
+	// (0 selects 1s: a tenant may burst one second of its rate).
+	BurstSeconds float64
+	// GlobalBytes caps the aggregate in-flight (admitted but not yet
+	// released) payload across all tenants (0 = unlimited).
+	GlobalBytes int64
+	// Now is the clock seam (nil = time.Now); tests pin it.
+	Now func() time.Time
+	// SlowFraction, when set, reports the fraction of serving workers
+	// currently degraded (0..1); effective tenant rates scale by
+	// 1−SlowFraction/2, floored at ¼ — slow workers shed load, dead
+	// workers are someone else's problem (failover).
+	SlowFraction func() float64
+}
+
+// Admission is the per-tenant token-bucket admission controller. Safe
+// for concurrent use.
+type Admission struct {
+	cfg   AdmissionConfig
+	burst float64 // seconds of rate a bucket may hold
+
+	mu       sync.Mutex
+	tenants  map[int64]*tenantBuckets
+	inflight int64
+
+	admitted metrics.Counter
+	shed     metrics.Counter
+}
+
+type tenantBuckets struct {
+	rows, bytes float64 // current tokens
+	last        time.Time
+}
+
+// NewAdmission returns a controller for cfg. A nil-ish (all-zero)
+// config admits everything and costs one map lookup per append.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	burst := cfg.BurstSeconds
+	if burst <= 0 {
+		burst = 1
+	}
+	return &Admission{cfg: cfg, burst: burst, tenants: make(map[int64]*tenantBuckets)}
+}
+
+// NeedsBytes reports whether any configured budget charges by payload
+// size — callers may skip measuring batch bytes entirely when false.
+func (a *Admission) NeedsBytes() bool {
+	return a.cfg.TenantBytesPerSec > 0 || a.cfg.GlobalBytes > 0
+}
+
+// scale returns the degradation multiplier on effective rates.
+func (a *Admission) scale() float64 {
+	if a.cfg.SlowFraction == nil {
+		return 1
+	}
+	f := a.cfg.SlowFraction()
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	s := 1 - f/2
+	if s < 0.25 {
+		s = 0.25
+	}
+	return s
+}
+
+// Admit charges one batch (rows rows, bytes payload bytes) against
+// tenant's buckets and the global budget. On success the caller MUST
+// call Release(bytes) with the same byte count when the batch leaves
+// the ingest pipeline (acked or failed) to return it to the global
+// budget; rate-bucket tokens are consumed permanently (that is what a
+// rate is). On rejection it returns *ErrOverloaded and charges
+// nothing. The success path allocates nothing after a tenant's first
+// batch — admission may cost bookkeeping, never throughput.
+func (a *Admission) Admit(tenant int64, rows int, bytes int64) error {
+	scale := a.scale()
+	now := a.cfg.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.admitLocked(now, scale, tenant, rows, bytes)
+}
+
+// TenantCharge describes one tenant sub-batch for AdmitBatch.
+type TenantCharge struct {
+	Tenant int64
+	Rows   int
+	Bytes  int64
+}
+
+// AdmitBatch charges consecutive tenant sub-batches in one locked pass,
+// amortizing the clock read, the degradation probe, and the lock over
+// the whole client batch — a multi-tenant append touching a hundred
+// tenants costs one Admit's fixed overhead, not a hundred. It admits a
+// prefix: charges[0:n] are admitted (their byte total returned for one
+// Release call); when err != nil, charges[n] was shed and everything
+// after it is left uncharged.
+func (a *Admission) AdmitBatch(charges []TenantCharge) (n int, charged int64, err error) {
+	scale := a.scale()
+	now := a.cfg.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, c := range charges {
+		if err := a.admitLocked(now, scale, c.Tenant, c.Rows, c.Bytes); err != nil {
+			return i, charged, err
+		}
+		charged += c.Bytes
+	}
+	return len(charges), charged, nil
+}
+
+// admitLocked is one tenant charge under a held a.mu with the clock
+// and degradation scale already sampled.
+func (a *Admission) admitLocked(now time.Time, scale float64, tenant int64, rows int, bytes int64) error {
+	rowRate := a.cfg.TenantRowsPerSec * scale
+	byteRate := a.cfg.TenantBytesPerSec * scale
+
+	var tb *tenantBuckets
+	if rowRate > 0 || byteRate > 0 {
+		var ok bool
+		tb, ok = a.tenants[tenant]
+		if !ok {
+			// A new bucket starts full: the first burst is free.
+			tb = &tenantBuckets{
+				rows:  a.cfg.TenantRowsPerSec * a.burst,
+				bytes: a.cfg.TenantBytesPerSec * a.burst,
+				last:  now,
+			}
+			a.tenants[tenant] = tb
+		}
+		// Refill at the scaled rate, capped at the unscaled burst
+		// (capacity is sized for the healthy cluster; degradation slows
+		// refill, it does not shrink what was already earned).
+		dt := now.Sub(tb.last).Seconds()
+		if dt > 0 {
+			tb.rows = minf(tb.rows+rowRate*dt, a.cfg.TenantRowsPerSec*a.burst)
+			tb.bytes = minf(tb.bytes+byteRate*dt, a.cfg.TenantBytesPerSec*a.burst)
+			tb.last = now
+		}
+		if rowRate > 0 && float64(rows) > tb.rows {
+			a.shed.Inc()
+			return &ErrOverloaded{
+				Tenant:     tenant,
+				Scope:      "tenant-rows",
+				RetryAfter: refillTime(float64(rows)-tb.rows, rowRate),
+			}
+		}
+		if byteRate > 0 && float64(bytes) > tb.bytes {
+			a.shed.Inc()
+			return &ErrOverloaded{
+				Tenant:     tenant,
+				Scope:      "tenant-bytes",
+				RetryAfter: refillTime(float64(bytes)-tb.bytes, byteRate),
+			}
+		}
+	}
+
+	if a.cfg.GlobalBytes > 0 && a.inflight+bytes > a.cfg.GlobalBytes {
+		a.shed.Inc()
+		// No rate drains the global budget — releases do — so the hint
+		// is a flat "come back soon".
+		return &ErrOverloaded{Scope: "global-bytes", RetryAfter: 50 * time.Millisecond}
+	}
+
+	if tb != nil {
+		if rowRate > 0 {
+			tb.rows -= float64(rows)
+		}
+		if byteRate > 0 {
+			tb.bytes -= float64(bytes)
+		}
+	}
+	a.inflight += bytes
+	a.admitted.Inc()
+	return nil
+}
+
+// Release returns an admitted batch's bytes to the global in-flight
+// budget. Call exactly once per successful Admit, with the same byte
+// count, when the batch leaves the ingest pipeline.
+func (a *Admission) Release(bytes int64) {
+	a.mu.Lock()
+	a.inflight -= bytes
+	a.mu.Unlock()
+}
+
+// refillTime says how long a bucket needs to earn deficit tokens.
+func refillTime(deficit, rate float64) time.Duration {
+	if rate <= 0 {
+		return time.Second
+	}
+	d := time.Duration(deficit / rate * float64(time.Second))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// InflightBytes reports the admitted-but-unreleased payload total.
+func (a *Admission) InflightBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// Stats reports admitted and shed batch counts.
+func (a *Admission) Stats() (admitted, shed int64) {
+	return a.admitted.Value(), a.shed.Value()
+}
+
+// SweepIdle drops bucket state for tenants idle longer than idle —
+// bounded memory across millions of mostly-cold tenants. Returns the
+// number swept. The cluster's heartbeat loop calls this on its own
+// cadence.
+func (a *Admission) SweepIdle(idle time.Duration) int {
+	now := a.cfg.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for t, tb := range a.tenants {
+		if now.Sub(tb.last) > idle {
+			delete(a.tenants, t)
+			n++
+		}
+	}
+	return n
+}

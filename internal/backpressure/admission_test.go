@@ -1,0 +1,180 @@
+package backpressure
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pinnedClock is a manually advanced clock for deterministic bucket
+// refill.
+type pinnedClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *pinnedClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *pinnedClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestAdmissionTenantRows(t *testing.T) {
+	clk := &pinnedClock{now: time.Unix(1000, 0)}
+	a := NewAdmission(AdmissionConfig{
+		TenantRowsPerSec: 100,
+		Now:              clk.Now,
+	})
+	// The initial burst admits one second of rate.
+	if err := a.Admit(7, 100, 10); err != nil {
+		t.Fatalf("first burst: %v", err)
+	}
+	a.Release(10)
+	// The bucket is empty; the next batch is shed with a refill hint.
+	err := a.Admit(7, 50, 10)
+	var ov *ErrOverloaded
+	if !errors.As(err, &ov) {
+		t.Fatalf("over-rate admit = %v, want ErrOverloaded", err)
+	}
+	if ov.Tenant != 7 || ov.Scope != "tenant-rows" {
+		t.Fatalf("ErrOverloaded = %+v", ov)
+	}
+	if ov.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", ov.RetryAfter)
+	}
+	// A different tenant is not starved by the hot one.
+	if err := a.Admit(8, 100, 10); err != nil {
+		t.Fatalf("cold tenant shed alongside hot: %v", err)
+	}
+	a.Release(10)
+	// After the advertised wait, the hot tenant is admitted again.
+	clk.Advance(ov.RetryAfter + time.Millisecond)
+	if err := a.Admit(7, 50, 10); err != nil {
+		t.Fatalf("post-refill admit: %v", err)
+	}
+	a.Release(10)
+	admitted, shed := a.Stats()
+	if admitted != 3 || shed != 1 {
+		t.Fatalf("stats = (%d admitted, %d shed), want (3, 1)", admitted, shed)
+	}
+}
+
+func TestAdmissionGlobalBudget(t *testing.T) {
+	clk := &pinnedClock{now: time.Unix(1000, 0)}
+	a := NewAdmission(AdmissionConfig{GlobalBytes: 100, Now: clk.Now})
+	if err := a.Admit(1, 1, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Admit(2, 1, 60); err == nil {
+		t.Fatal("global budget overshot")
+	} else {
+		var ov *ErrOverloaded
+		if !errors.As(err, &ov) || ov.Scope != "global-bytes" {
+			t.Fatalf("global rejection = %v", err)
+		}
+	}
+	if got := a.InflightBytes(); got != 60 {
+		t.Fatalf("InflightBytes = %d, want 60", got)
+	}
+	a.Release(60)
+	if got := a.InflightBytes(); got != 0 {
+		t.Fatalf("InflightBytes after release = %d, want 0", got)
+	}
+	if err := a.Admit(2, 1, 60); err != nil {
+		t.Fatalf("post-release admit: %v", err)
+	}
+	a.Release(60)
+}
+
+func TestAdmissionSlowFractionSheds(t *testing.T) {
+	clk := &pinnedClock{now: time.Unix(1000, 0)}
+	slow := 0.0
+	var mu sync.Mutex
+	a := NewAdmission(AdmissionConfig{
+		TenantRowsPerSec: 100,
+		Now:              clk.Now,
+		SlowFraction: func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return slow
+		},
+	})
+	// Drain the initial burst.
+	if err := a.Admit(1, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Healthy: 1s refills 100 rows.
+	clk.Advance(time.Second)
+	if err := a.Admit(1, 100, 0); err != nil {
+		t.Fatalf("healthy refill: %v", err)
+	}
+	// Half rate under full degradation: the same 1s now refills only 75.
+	mu.Lock()
+	slow = 1.0
+	mu.Unlock()
+	clk.Advance(time.Second)
+	if err := a.Admit(1, 100, 0); err == nil {
+		t.Fatal("degraded refill admitted a full-rate batch")
+	}
+	if err := a.Admit(1, 50, 0); err != nil {
+		t.Fatalf("degraded half-rate batch shed: %v", err)
+	}
+}
+
+func TestAdmissionZeroConfigAdmitsAll(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{})
+	for i := 0; i < 100; i++ {
+		if err := a.Admit(1, 1<<20, 1<<30); err != nil {
+			t.Fatalf("zero config shed batch %d: %v", i, err)
+		}
+		a.Release(1 << 30)
+	}
+}
+
+// TestAdmissionHotPathAllocs: after a tenant's first batch, the admit/
+// release cycle must not allocate — the broker runs it per tenant
+// sub-batch on the zero-alloc ingest path.
+func TestAdmissionHotPathAllocs(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{
+		TenantRowsPerSec:  1e12,
+		TenantBytesPerSec: 1e15,
+		GlobalBytes:       1 << 50,
+	})
+	if err := a.Admit(1, 1, 100); err != nil { // warm the bucket
+		t.Fatal(err)
+	}
+	a.Release(100)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := a.Admit(1, 1000, 100_000); err != nil {
+			t.Fatal(err)
+		}
+		a.Release(100_000)
+	})
+	if allocs != 0 {
+		t.Fatalf("admit/release allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestAdmissionSweepIdle(t *testing.T) {
+	clk := &pinnedClock{now: time.Unix(1000, 0)}
+	a := NewAdmission(AdmissionConfig{TenantRowsPerSec: 100, Now: clk.Now})
+	for _, tn := range []int64{1, 2, 3} {
+		if err := a.Admit(tn, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(10 * time.Minute)
+	if err := a.Admit(1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := a.SweepIdle(time.Minute); n != 2 {
+		t.Fatalf("SweepIdle = %d, want 2 (tenants 2 and 3)", n)
+	}
+}

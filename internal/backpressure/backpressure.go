@@ -11,6 +11,7 @@ package backpressure
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"logstore/internal/metrics"
@@ -23,6 +24,25 @@ var ErrBackpressure = errors.New("backpressure: queue limit exceeded")
 
 // ErrClosed is returned when pushing to or draining a closed queue.
 var ErrClosed = errors.New("backpressure: queue closed")
+
+// SaturatedError is the typed form of a queue rejection: it satisfies
+// errors.Is(err, ErrBackpressure) and carries the queue's state at the
+// moment of rejection, so the rejection path (HTTP 429 mapping, chaos
+// reports, logs) can say *which* queue was full and how full, instead
+// of a bare sentinel. Compare with errors.Is, never ==.
+type SaturatedError struct {
+	// Queue is the rejecting queue's snapshot at rejection time.
+	Queue Snapshot
+}
+
+// Error implements error.
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("backpressure: queue %s saturated (%d items / %d bytes, limits %d / %d)",
+		e.Queue.Name, e.Queue.Len, e.Queue.Bytes, e.Queue.MaxItems, e.Queue.MaxBytes)
+}
+
+// Unwrap makes errors.Is(err, ErrBackpressure) hold.
+func (e *SaturatedError) Unwrap() error { return ErrBackpressure }
 
 // Queue is a bounded FIFO monitored by item count and byte size.
 // It is safe for concurrent producers and consumers.
@@ -72,13 +92,10 @@ func (q *Queue) Push(value any, size int64) error {
 	if q.closed {
 		return ErrClosed
 	}
-	if q.maxItems > 0 && len(q.items) >= q.maxItems {
+	if (q.maxItems > 0 && len(q.items) >= q.maxItems) ||
+		(q.maxBytes > 0 && q.bytes+size > q.maxBytes) {
 		q.rejected.Inc()
-		return ErrBackpressure
-	}
-	if q.maxBytes > 0 && q.bytes+size > q.maxBytes {
-		q.rejected.Inc()
-		return ErrBackpressure
+		return &SaturatedError{Queue: q.snapshotLocked()}
 	}
 	q.items = append(q.items, queueItem{value: value, size: size})
 	q.bytes += size
@@ -182,6 +199,10 @@ type Snapshot struct {
 func (q *Queue) Snapshot() Snapshot {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	return q.snapshotLocked()
+}
+
+func (q *Queue) snapshotLocked() Snapshot {
 	return Snapshot{
 		Name:     q.name,
 		Len:      len(q.items),

@@ -1,0 +1,118 @@
+package backpressure
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestSaturatedErrorCarriesSnapshot: Push rejections are typed, keep
+// errors.Is compatibility with the sentinel, and carry the rejecting
+// queue's state.
+func TestSaturatedErrorCarriesSnapshot(t *testing.T) {
+	q := NewQueue("sat", 1, 0)
+	if err := q.Push("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	err := q.Push("b", 10)
+	if !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("Push = %v, want errors.Is ErrBackpressure", err)
+	}
+	var sat *SaturatedError
+	if !errors.As(err, &sat) {
+		t.Fatalf("Push = %T, want *SaturatedError", err)
+	}
+	if sat.Queue.Name != "sat" || sat.Queue.Len != 1 || sat.Queue.Bytes != 10 {
+		t.Fatalf("snapshot in error = %+v", sat.Queue)
+	}
+	if sat.Queue.Rejected != 1 {
+		t.Fatalf("Rejected in snapshot = %d, want 1", sat.Queue.Rejected)
+	}
+}
+
+func TestDrainAllEmpty(t *testing.T) {
+	q := NewQueue("d", 10, 0)
+	out := q.DrainAll(nil)
+	if out != nil {
+		t.Fatalf("DrainAll(empty) = %v, want nil unchanged", out)
+	}
+	// Accounting untouched.
+	s := q.Snapshot()
+	if s.Len != 0 || s.Bytes != 0 || s.Popped != 0 {
+		t.Fatalf("snapshot after empty drain = %+v", s)
+	}
+}
+
+func TestDrainAllClosed(t *testing.T) {
+	q := NewQueue("d", 10, 0)
+	if err := q.Push("a", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("b", 4); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	// Close leaves pending items poppable; DrainAll takes them all.
+	out := q.DrainAll(nil)
+	if len(out) != 2 || out[0] != "a" || out[1] != "b" {
+		t.Fatalf("DrainAll(closed) = %v", out)
+	}
+	s := q.Snapshot()
+	if s.Len != 0 || s.Bytes != 0 || s.Popped != 2 || s.Pushed != 2 {
+		t.Fatalf("snapshot after closed drain = %+v", s)
+	}
+	// A second drain of the now-empty closed queue is a no-op.
+	if out := q.DrainAll(nil); out != nil {
+		t.Fatalf("second DrainAll = %v, want nil", out)
+	}
+}
+
+// TestDrainAllConcurrentPush: pushed == popped + len at every
+// observation point, and bytes never go negative, while producers race
+// a draining consumer.
+func TestDrainAllConcurrentPush(t *testing.T) {
+	q := NewQueue("d", 0, 0) // unbounded: no rejections to account for
+	const producers = 4
+	const perProducer = 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Push(i, 7); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	drained := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var buf []any
+		for drained < producers*perProducer {
+			buf = q.DrainAll(buf[:0])
+			drained += len(buf)
+			s := q.Snapshot()
+			if s.Bytes < 0 {
+				t.Errorf("negative byte accounting: %+v", s)
+				return
+			}
+			if s.Popped+int64(s.Len) > s.Pushed {
+				t.Errorf("accounting invariant violated: %+v", s)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if drained != producers*perProducer {
+		t.Fatalf("drained %d, want %d", drained, producers*perProducer)
+	}
+	s := q.Snapshot()
+	if s.Len != 0 || s.Bytes != 0 || s.Pushed != int64(producers*perProducer) || s.Popped != s.Pushed {
+		t.Fatalf("final snapshot = %+v", s)
+	}
+}

@@ -8,6 +8,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -15,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"logstore/internal/backpressure"
 	"logstore/internal/flow"
 	"logstore/internal/meta"
 	"logstore/internal/metrics"
@@ -55,6 +57,11 @@ type Config struct {
 	// AppendRetryWindow bounds how long Append keeps re-routing a
 	// tenant batch around a down worker before giving up (0 = 5s).
 	AppendRetryWindow time.Duration
+	// Admission, when set, rate-limits appends per tenant (rows/s and
+	// bytes/s token buckets) under a global in-flight byte budget,
+	// shedding excess with *backpressure.ErrOverloaded before any
+	// routing or raft work is done. Nil disables admission control.
+	Admission *backpressure.Admission
 }
 
 // Broker is one query-layer node.
@@ -70,6 +77,13 @@ type Broker struct {
 	failovers metrics.Counter
 	hedges    metrics.Counter
 	reroutes  metrics.Counter
+
+	// degradation counters, exposed through DegradeStats: requests
+	// stopped by caller cancellation, by an expired deadline, and
+	// batches shed by admission control.
+	canceled metrics.Counter
+	expired  metrics.Counter
+	shed     metrics.Counter
 }
 
 // New constructs a broker. The router must be subscribed to the
@@ -92,6 +106,7 @@ func New(cfg Config, sch *schema.Schema, router *flow.Router,
 type appendScratch struct {
 	byTenant map[int64][]schema.Row
 	tenants  []int64
+	charges  []backpressure.TenantCharge
 }
 
 var appendScratchPool = sync.Pool{New: func() any {
@@ -107,6 +122,7 @@ func (s *appendScratch) release() {
 		s.byTenant[t] = bucket[:0]
 	}
 	s.tenants = s.tenants[:0]
+	s.charges = s.charges[:0]
 	appendScratchPool.Put(s)
 }
 
@@ -115,8 +131,32 @@ func (s *appendScratch) release() {
 // table, and records traffic for the hotspot monitor. The first error
 // (including backpressure) aborts the remainder.
 func (b *Broker) Append(rows []schema.Row) error {
+	return b.AppendContext(context.Background(), rows)
+}
+
+// countCtxErr attributes a context failure to the right degradation
+// counter and returns err unchanged.
+func (b *Broker) countCtxErr(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		b.expired.Inc()
+	case errors.Is(err, context.Canceled):
+		b.canceled.Inc()
+	}
+	return err
+}
+
+// AppendContext is Append bounded by ctx and gated by admission
+// control. Per tenant sub-batch: admission runs first (a shed batch
+// costs no routing, raft, or clock work and returns a typed
+// *backpressure.ErrOverloaded carrying a retry hint), then the routed
+// write, which stops re-routing the moment ctx dies.
+func (b *Broker) AppendContext(ctx context.Context, rows []schema.Row) error {
 	if len(rows) == 0 {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return b.countCtxErr(err)
 	}
 	tenantIdx := b.sch.TenantIdx()
 	scratch := appendScratchPool.Get().(*appendScratch)
@@ -136,12 +176,46 @@ func (b *Broker) Append(rows []schema.Row) error {
 	}
 	tenants := scratch.tenants
 	slices.Sort(tenants) // deterministic write order, no reflection
+	if b.cfg.Admission == nil {
+		for _, tenant := range tenants {
+			if err := b.appendTenant(ctx, tenant, scratch.byTenant[tenant]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Admission runs up front in one locked pass over every tenant
+	// sub-batch (clock, degradation probe, and lock amortized across
+	// the call), admitting a prefix: a shed tenant stops the charging
+	// scan, the admitted prefix is still written — the same outcome the
+	// per-tenant interleaving produced — and the shed error surfaces
+	// after. Byte sizing is skipped when no budget is denominated in
+	// bytes.
+	needBytes := b.cfg.Admission.NeedsBytes()
+	charges := scratch.charges[:0]
 	for _, tenant := range tenants {
-		if err := b.appendTenant(tenant, scratch.byTenant[tenant]); err != nil {
+		batch := scratch.byTenant[tenant]
+		var bytes int64
+		if needBytes {
+			for _, r := range batch {
+				bytes += int64(r.Size())
+			}
+		}
+		charges = append(charges, backpressure.TenantCharge{Tenant: tenant, Rows: len(batch), Bytes: bytes})
+	}
+	scratch.charges = charges
+	n, charged, admErr := b.cfg.Admission.AdmitBatch(charges)
+	defer b.cfg.Admission.Release(charged)
+	if admErr != nil {
+		b.shed.Inc()
+	}
+	for _, tenant := range tenants[:n] {
+		if err := b.appendTenant(ctx, tenant, scratch.byTenant[tenant]); err != nil {
 			return err
 		}
 	}
-	return nil
+	return admErr
 }
 
 // appendTenant routes one tenant's sub-batch and writes it, re-routing
@@ -151,7 +225,7 @@ func (b *Broker) Append(rows []schema.Row) error {
 // whose shard raft group elects its own leader — or the retry window
 // closes. Raft leadership moves inside the worker are handled below the
 // broker (worker.Append retries across elections itself).
-func (b *Broker) appendTenant(tenant int64, batch []schema.Row) error {
+func (b *Broker) appendTenant(ctx context.Context, tenant int64, batch []schema.Row) error {
 	window := b.cfg.AppendRetryWindow
 	if window <= 0 {
 		window = 5 * time.Second
@@ -161,6 +235,9 @@ func (b *Broker) appendTenant(tenant int64, batch []schema.Row) error {
 	var deadline time.Time
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return b.countCtxErr(err)
+		}
 		shard := b.router.Route(flow.TenantID(tenant))
 		wid, ok := b.pool.ShardOwner(shard)
 		if !ok {
@@ -177,10 +254,13 @@ func (b *Broker) appendTenant(tenant int64, batch []schema.Row) error {
 		default:
 			// Rows were conformance-checked in Append (and the row store
 			// re-checks on insert), so skip the worker's middle pass.
-			err := w.AppendTrusted(shard, batch)
+			err := w.AppendTrustedCtx(ctx, shard, batch)
 			if err == nil {
 				b.collector.Record(flow.TenantID(tenant), shard, wid, int64(len(batch)))
 				return nil
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return b.countCtxErr(err)
 			}
 			if !errors.Is(err, worker.ErrWorkerDown) {
 				return fmt.Errorf("broker: append tenant %d to shard %d: %w", tenant, shard, err)
@@ -193,23 +273,59 @@ func (b *Broker) appendTenant(tenant int64, batch []schema.Row) error {
 			return fmt.Errorf("broker: append tenant %d: no live route: %w", tenant, lastErr)
 		}
 		b.reroutes.Inc()
-		timeSleep(5 * time.Millisecond)
+		if err := sleepInterruptible(ctx, 5*time.Millisecond); err != nil {
+			return b.countCtxErr(err)
+		}
+	}
+}
+
+// sleepInterruptible pauses for d or until ctx dies, whichever comes
+// first. A context that cannot be canceled takes the plain-sleep path.
+func sleepInterruptible(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		timeSleep(d)
+		return nil
+	}
+	t := newWallTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
 // Query parses, plans, scatters, and merges one SQL query.
 func (b *Broker) Query(sql string) (*query.Result, error) {
+	return b.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query bounded by ctx: a dead context returns before
+// planning, and cancellation mid-scatter stops the sub-queries.
+func (b *Broker) QueryContext(ctx context.Context, sql string) (*query.Result, error) {
 	q, err := query.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return b.Execute(q)
+	return b.ExecuteContext(ctx, q)
 }
 
 // Execute runs a parsed query.
 func (b *Broker) Execute(q *query.Query) (*query.Result, error) {
+	return b.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext runs a parsed query under ctx. The context flows into
+// every archived-block sub-query (through the worker's scan and down to
+// object-storage reads) and every real-time scan, so one client
+// deadline bounds the whole scatter.
+func (b *Broker) ExecuteContext(ctx context.Context, q *query.Query) (*query.Result, error) {
 	if err := q.Validate(b.sch); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, b.countCtxErr(err)
 	}
 	tenant, minTS, maxTS, ok := q.KeyRange(b.sch)
 	if !ok {
@@ -219,18 +335,21 @@ func (b *Broker) Execute(q *query.Query) (*query.Result, error) {
 	// Plan: archived blocks from the LogBlock map, partitioned across
 	// the workers the health tracker considers able to serve reads, by
 	// path hash (stable → cache affinity); real-time sub-queries to
-	// every shard in old+new routing plans.
+	// every shard in old+new routing plans. Workers the tracker flags
+	// as slow (gray failure: alive but lagging) are excluded from the
+	// primary partition and kept only as failover tail.
 	blocks := b.catalog.Prune(tenant, minTS, maxTS)
 	workerIDs := b.pool.WorkerIDs()
 	if len(workerIDs) == 0 {
 		return nil, fmt.Errorf("broker: no workers")
 	}
 	serving := b.servingWorkers(workerIDs)
+	primary := b.preferFast(serving)
 	byWorker := make(map[flow.WorkerID][]string)
 	for _, blk := range blocks {
 		h := fnv.New32a()
 		h.Write([]byte(blk.Path))
-		wid := serving[int(h.Sum32())%len(serving)]
+		wid := primary[int(h.Sum32())%len(primary)]
 		byWorker[wid] = append(byWorker[wid], blk.Path)
 	}
 	shards := b.router.ReadShards(flow.TenantID(tenant))
@@ -247,7 +366,13 @@ func (b *Broker) Execute(q *query.Query) (*query.Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := b.runBlockSet(paths, q, b.candidatesFrom(wid, serving))
+			candidates := b.candidatesFrom(wid, primary)
+			for _, s := range serving {
+				if !slices.Contains(primary, s) {
+					candidates = append(candidates, s) // slow workers: failover tail
+				}
+			}
+			res, err := b.runBlockSet(ctx, paths, q, candidates)
 			results <- part{res: res, err: err}
 		}()
 	}
@@ -265,7 +390,7 @@ func (b *Broker) Execute(q *query.Query) (*query.Result, error) {
 				results <- part{err: fmt.Errorf("broker: worker %d not found", wid)}
 				return
 			}
-			res, err := w.QueryRealtime(shard, q)
+			res, err := w.QueryRealtimeCtx(ctx, shard, q)
 			results <- part{res: res, err: err}
 		}()
 	}
@@ -273,16 +398,46 @@ func (b *Broker) Execute(q *query.Query) (*query.Result, error) {
 	close(results)
 
 	final := query.NewResult(q, b.sch)
+	var firstErr error
 	for p := range results {
 		if p.err != nil {
-			return nil, p.err
+			if firstErr == nil {
+				firstErr = p.err
+			}
+			continue // drain so stragglers don't leak into a closed channel
 		}
 		final.Merge(p.res)
+	}
+	if firstErr != nil {
+		if errors.Is(firstErr, context.Canceled) || errors.Is(firstErr, context.DeadlineExceeded) {
+			return nil, b.countCtxErr(firstErr)
+		}
+		return nil, firstErr
 	}
 	if err := final.Finalize(q); err != nil {
 		return nil, err
 	}
 	return final, nil
+}
+
+// preferFast drops slow-flagged workers from the primary read
+// partition, keeping them only as failover candidates. If every
+// serving worker is slow the full list is returned — universally
+// degraded beats unavailable.
+func (b *Broker) preferFast(serving []flow.WorkerID) []flow.WorkerID {
+	if b.cfg.Health == nil {
+		return serving
+	}
+	out := make([]flow.WorkerID, 0, len(serving))
+	for _, wid := range serving {
+		if b.cfg.Health.State(wid) != flow.WorkerSlow {
+			out = append(out, wid)
+		}
+	}
+	if len(out) == 0 {
+		return serving
+	}
+	return out
 }
 
 // servingWorkers filters out workers the health tracker believes are
@@ -331,7 +486,7 @@ func (b *Broker) candidatesFrom(preferred flow.WorkerID, serving []flow.WorkerID
 // on the next candidate. With HedgeDelay set, a slow first worker gets
 // one speculative duplicate on the next candidate; first success wins
 // and stragglers drain into the buffered channel.
-func (b *Broker) runBlockSet(paths []string, q *query.Query, candidates []flow.WorkerID) (*query.Result, error) {
+func (b *Broker) runBlockSet(ctx context.Context, paths []string, q *query.Query, candidates []flow.WorkerID) (*query.Result, error) {
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("broker: no workers for block set")
 	}
@@ -346,7 +501,14 @@ func (b *Broker) runBlockSet(paths []string, q *query.Query, candidates []flow.W
 			resc <- part{err: fmt.Errorf("broker: worker %d not found", wid)}
 			return
 		}
-		res, err := w.QueryBlocks(paths, q, b.cfg.Exec)
+		start := timeNow()
+		res, err := w.QueryBlocksCtx(ctx, paths, q, b.cfg.Exec)
+		// Feed the gray-failure detector: completion latency of every
+		// sub-query, successful or not, but never latencies inflated by
+		// our own caller's cancellation.
+		if b.cfg.Health != nil && ctx.Err() == nil {
+			b.cfg.Health.ReportLatency(wid, timeNow().Sub(start))
+		}
 		resc <- part{res: res, err: err}
 	}
 	launched := 1
@@ -367,6 +529,11 @@ func (b *Broker) runBlockSet(paths []string, q *query.Query, candidates []flow.W
 				return p.res, nil
 			}
 			errs = append(errs, p.err)
+			if errors.Is(p.err, context.Canceled) || errors.Is(p.err, context.DeadlineExceeded) {
+				// Our caller's context died: failover would rerun the
+				// same doomed sub-query elsewhere.
+				return nil, p.err
+			}
 			if launched < len(candidates) {
 				b.failovers.Inc()
 				go attempt(candidates[launched])
@@ -379,10 +546,17 @@ func (b *Broker) runBlockSet(paths []string, q *query.Query, candidates []flow.W
 			hedge = nil
 			if launched < len(candidates) {
 				b.hedges.Inc()
+				// The first worker has been silent for the whole hedge
+				// delay — that silence is itself a latency observation.
+				if b.cfg.Health != nil && ctx.Err() == nil {
+					b.cfg.Health.ReportLatency(candidates[0], b.cfg.HedgeDelay)
+				}
 				go attempt(candidates[launched])
 				launched++
 				outstanding++
 			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
 	}
 }
@@ -391,6 +565,13 @@ func (b *Broker) runBlockSet(paths []string, q *query.Query, candidates []flow.W
 // failovers, hedged re-dispatches, and append re-route retries.
 func (b *Broker) Stats() (failovers, hedges, reroutes int64) {
 	return b.failovers.Value(), b.hedges.Value(), b.reroutes.Value()
+}
+
+// DegradeStats reports the graceful-degradation counters: requests
+// stopped by caller cancellation, requests refused or cut short by an
+// expired deadline, and batches shed by admission control.
+func (b *Broker) DegradeStats() (canceled, expired, shed int64) {
+	return b.canceled.Value(), b.expired.Value(), b.shed.Value()
 }
 
 // Router exposes the broker's router (the scheduler subscribes it).

@@ -234,5 +234,8 @@ func (c *ObjectCache) Put(key string, value any, size int64) { c.lru.Put(key, va
 // Stats returns hit/miss counts.
 func (c *ObjectCache) Stats() (hits, misses int64) { return c.lru.Stats() }
 
+// Used reports the bytes currently charged to the cache.
+func (c *ObjectCache) Used() int64 { return c.lru.Used() }
+
 // Purge drops everything.
 func (c *ObjectCache) Purge() { c.lru.Purge() }

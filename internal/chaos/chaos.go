@@ -359,11 +359,17 @@ func Run(tg Target, cfg Config) (*Report, error) {
 	return rep, nil
 }
 
+// QueryTarget is the minimal read surface VerifyCounts needs; both
+// Target and BrownoutTarget cover it.
+type QueryTarget interface {
+	Query(sql string) (*query.Result, error)
+}
+
 // VerifyCounts polls per-tenant COUNT queries until every tenant
 // reports exactly its acked row count — the exactly-once check. Less
 // means acked rows were lost; more means a retried batch was applied
 // twice. The poll tolerates archive/apply lag up to timeout.
-func VerifyCounts(tg Target, sch *schema.Schema, acked map[int64]int64, timeout time.Duration) error {
+func VerifyCounts(tg QueryTarget, sch *schema.Schema, acked map[int64]int64, timeout time.Duration) error {
 	if sch == nil {
 		sch = schema.RequestLogSchema()
 	}

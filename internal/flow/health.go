@@ -1,13 +1,20 @@
 package flow
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // This file tracks worker liveness for the query/write routers. The
 // tracker is deliberately tick-driven: workers heartbeat through Beat,
 // and some outside loop (the cluster harness) calls Tick on its own
 // cadence. The tracker itself never reads a clock, so failover tests
 // drive it deterministically — miss thresholds are counted in ticks,
-// not wall time.
+// not wall time. Slowness works the same way: brokers report observed
+// sub-query latencies through ReportLatency (durations, not clock
+// reads), and the tracker derives a WorkerSlow state from the EWMA —
+// gray failures (a stalled disk, a throttled OSS path) surface in
+// routing and admission without any component here consulting time.
 
 // WorkerState is a worker's health as seen by the routing layer.
 type WorkerState int
@@ -21,6 +28,13 @@ const (
 	// WorkerDead has missed enough heartbeats to be presumed crashed;
 	// brokers fail its sub-queries over to other workers.
 	WorkerDead
+	// WorkerSlow is alive and heartbeating but serving degraded — its
+	// observed latency EWMA crossed the slow threshold. Brokers depri-
+	// oritize it for new sub-queries (it stays a failover candidate)
+	// and admission control sheds a share of ingest while any worker
+	// is slow. Appended after WorkerDead so persisted state values
+	// stay stable.
+	WorkerSlow
 )
 
 // String implements fmt.Stringer.
@@ -32,6 +46,8 @@ func (s WorkerState) String() string {
 		return "draining"
 	case WorkerDead:
 		return "dead"
+	case WorkerSlow:
+		return "slow"
 	}
 	return "unknown"
 }
@@ -44,7 +60,20 @@ type HealthTracker struct {
 	misses    map[WorkerID]int
 	draining  map[WorkerID]bool
 	dead      map[WorkerID]bool
+
+	// Slow-worker detection: a per-worker latency EWMA fed by broker
+	// observations. A worker turns slow when its EWMA exceeds slowOver
+	// and recovers when it falls back under half of it (hysteresis, so
+	// one borderline sample doesn't flap routing).
+	slowOver time.Duration
+	ewma     map[WorkerID]time.Duration
+	slow     map[WorkerID]bool
 }
+
+// ewmaAlpha weights the newest latency sample; ~8 samples dominate
+// the average, so a stall shows within a few sub-queries and recovery
+// within a few more.
+const ewmaAlpha = 0.25
 
 // NewHealthTracker returns a tracker that declares a worker dead after
 // it misses downAfterMisses consecutive ticks (minimum 1; 0 selects 3).
@@ -57,7 +86,82 @@ func NewHealthTracker(downAfterMisses int) *HealthTracker {
 		misses:    make(map[WorkerID]int),
 		draining:  make(map[WorkerID]bool),
 		dead:      make(map[WorkerID]bool),
+		ewma:      make(map[WorkerID]time.Duration),
+		slow:      make(map[WorkerID]bool),
 	}
+}
+
+// SetSlowThreshold arms slow-worker detection: a worker whose latency
+// EWMA exceeds over becomes WorkerSlow. Zero disables the mode (the
+// default — clusters opt in with a threshold scaled to their expected
+// sub-query time).
+func (h *HealthTracker) SetSlowThreshold(over time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.slowOver = over
+	if over <= 0 {
+		for w := range h.slow {
+			delete(h.slow, w)
+		}
+	}
+}
+
+// ReportLatency feeds one observed sub-query (or append) latency for a
+// worker into its EWMA and re-derives its slow flag. Brokers call this
+// on every completed attempt and on every hedge trigger — the hedge
+// delay expiring IS a latency observation about the preferred worker.
+func (h *HealthTracker) ReportLatency(w WorkerID, d time.Duration) {
+	if d < 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	prev, seen := h.ewma[w]
+	if !seen {
+		h.ewma[w] = d
+	} else {
+		h.ewma[w] = prev + time.Duration(ewmaAlpha*float64(d-prev))
+	}
+	if h.slowOver <= 0 {
+		return
+	}
+	switch cur := h.ewma[w]; {
+	case cur > h.slowOver:
+		h.slow[w] = true
+	case cur < h.slowOver/2:
+		delete(h.slow, w)
+	}
+}
+
+// LatencyEWMA returns the worker's current latency estimate (0 when
+// never observed).
+func (h *HealthTracker) LatencyEWMA(w WorkerID) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ewma[w]
+}
+
+// SlowFraction reports what fraction of live (non-dead) tracked
+// workers are currently slow, in [0, 1]. Admission control scales
+// effective ingest rates by it: a cluster whose workers are degraded
+// sheds at the door what it could only have queued.
+func (h *HealthTracker) SlowFraction() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	live, slow := 0, 0
+	for w := range h.misses {
+		if h.dead[w] {
+			continue
+		}
+		live++
+		if h.slow[w] {
+			slow++
+		}
+	}
+	if live == 0 {
+		return 0
+	}
+	return float64(slow) / float64(live)
 }
 
 // Beat records a heartbeat: the worker is (back) up unless draining. A
@@ -118,6 +222,9 @@ func (h *HealthTracker) stateLocked(w WorkerID) WorkerState {
 	}
 	if h.draining[w] {
 		return WorkerDraining
+	}
+	if h.slow[w] {
+		return WorkerSlow
 	}
 	return WorkerUp
 }

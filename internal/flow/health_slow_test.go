@@ -1,0 +1,88 @@
+package flow
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSlowWorkerDetection: sustained high latency flips a worker to
+// WorkerSlow; sustained recovery (under half the threshold) flips it
+// back; the borderline band holds the current state (hysteresis).
+func TestSlowWorkerDetection(t *testing.T) {
+	h := NewHealthTracker(3)
+	h.SetSlowThreshold(100 * time.Millisecond)
+	w := WorkerID(1)
+	h.Beat(w)
+
+	if s := h.State(w); s != WorkerUp {
+		t.Fatalf("initial state = %v, want up", s)
+	}
+	// A single slow sample seeds the EWMA directly: gray failure is
+	// visible after one observation, not twenty.
+	h.ReportLatency(w, 500*time.Millisecond)
+	if s := h.State(w); s != WorkerSlow {
+		t.Fatalf("state after stall sample = %v, want slow", s)
+	}
+	if got := h.SlowFraction(); got != 1.0 {
+		t.Fatalf("SlowFraction = %v, want 1.0 (1 of 1 live)", got)
+	}
+	// A second live worker halves the fraction.
+	h.Beat(WorkerID(2))
+	if got := h.SlowFraction(); got != 0.5 {
+		t.Fatalf("SlowFraction with 2 live = %v, want 0.5", got)
+	}
+	// Fast samples decay the EWMA below threshold/2 and clear the flag.
+	for i := 0; i < 40 && h.State(w) == WorkerSlow; i++ {
+		h.ReportLatency(w, time.Millisecond)
+	}
+	if s := h.State(w); s != WorkerUp {
+		t.Fatalf("state after recovery = %v (ewma %v), want up", s, h.LatencyEWMA(w))
+	}
+	if got := h.SlowFraction(); got != 0 {
+		t.Fatalf("SlowFraction after recovery = %v, want 0", got)
+	}
+}
+
+// TestSlowWorkerDeadWins: a slow worker that stops beating is dead,
+// not slow — fail-stop detection outranks gray-failure detection.
+func TestSlowWorkerDeadWins(t *testing.T) {
+	h := NewHealthTracker(2)
+	h.SetSlowThreshold(10 * time.Millisecond)
+	w := WorkerID(1)
+	h.Beat(w)
+	h.ReportLatency(w, time.Second)
+	if s := h.State(w); s != WorkerSlow {
+		t.Fatalf("state = %v, want slow", s)
+	}
+	h.Tick()
+	h.Tick()
+	if s := h.State(w); s != WorkerDead {
+		t.Fatalf("state after missed beats = %v, want dead", s)
+	}
+	// Dead workers don't count toward the slow fraction.
+	if got := h.SlowFraction(); got != 0 {
+		t.Fatalf("SlowFraction with only a dead worker = %v, want 0", got)
+	}
+}
+
+// TestSlowThresholdDisabled: without a threshold no latency sample
+// changes state.
+func TestSlowThresholdDisabled(t *testing.T) {
+	h := NewHealthTracker(3)
+	w := WorkerID(1)
+	h.Beat(w)
+	h.ReportLatency(w, time.Hour)
+	if s := h.State(w); s != WorkerUp {
+		t.Fatalf("state = %v, want up (detection disabled)", s)
+	}
+	// Arming and disarming clears existing slow flags.
+	h.SetSlowThreshold(time.Millisecond)
+	h.ReportLatency(w, time.Hour)
+	if s := h.State(w); s != WorkerSlow {
+		t.Fatalf("state = %v, want slow after arming", s)
+	}
+	h.SetSlowThreshold(0)
+	if s := h.State(w); s != WorkerUp {
+		t.Fatalf("state = %v, want up after disarming", s)
+	}
+}

@@ -4,15 +4,17 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
-	"strings"
 	"time"
 
 	"logstore"
+	"logstore/internal/backpressure"
 )
 
 // Record is the JSON wire form of one request_log row.
@@ -77,6 +79,31 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	fmt.Fprintln(w, err.Error())
 }
 
+// writeLoadError maps load-related failures to protocol semantics:
+// admission sheds become 429 with a Retry-After hint, queue saturation
+// becomes a plain 429, and a dead request context (client gone, or the
+// deadline it set expired) becomes 503 — the request didn't fail, the
+// time budget did. Returns false for errors it doesn't own.
+func writeLoadError(w http.ResponseWriter, err error) bool {
+	var over *backpressure.ErrOverloaded
+	switch {
+	case errors.As(err, &over):
+		secs := int64(over.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1 // sub-second hints still must parse as a positive header
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		httpError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, backpressure.ErrBackpressure):
+		httpError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		httpError(w, http.StatusServiceUnavailable, err)
+	default:
+		return false
+	}
+	return true
+}
+
 func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	var recs []Record
 	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&recs); err != nil {
@@ -88,13 +115,10 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	for i, rec := range recs {
 		rows[i] = rec.Row(now)
 	}
-	if err := s.cluster.Append(rows...); err != nil {
-		// Backpressure maps to 429 so clients know to slow down.
-		code := http.StatusBadRequest
-		if strings.Contains(err.Error(), "backpressure") {
-			code = http.StatusTooManyRequests
+	if err := s.cluster.AppendContext(r.Context(), rows...); err != nil {
+		if !writeLoadError(w, err) {
+			httpError(w, http.StatusBadRequest, err)
 		}
-		httpError(w, code, err)
 		return
 	}
 	fmt.Fprintf(w, `{"appended":%d}`+"\n", len(rows))
@@ -107,9 +131,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := timeNow()
-	res, err := s.cluster.Query(string(sqlBytes))
+	res, err := s.cluster.QueryContext(r.Context(), string(sqlBytes))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		if !writeLoadError(w, err) {
+			httpError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	resp := QueryResponse{

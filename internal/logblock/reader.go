@@ -66,6 +66,20 @@ type Reader struct {
 	Manifest *Manifest
 	Meta     *Meta
 
+	// shared holds the state common to every view of this object
+	// (WithFetcher): memoized index segments and retained-bytes
+	// accounting. Views differ only in their byte source — a cached
+	// base fetcher vs. a per-query context-bound one — so the decode
+	// work is paid once regardless of which view triggered it.
+	shared *readerShared
+
+	// vecCache, when set, is the shared decoded-vector cache level;
+	// vecKey identifies this object in its keyspace.
+	vecCache VectorCache
+	vecKey   string
+}
+
+type readerShared struct {
 	mu       sync.Mutex
 	invCache map[int]*inverted.Index
 	bkdCache map[int]*bkd.Tree
@@ -74,11 +88,26 @@ type Reader struct {
 	// (manifest + meta + parsed index segments), so cache levels holding
 	// readers can charge real cost instead of a guess.
 	retained atomic.Int64
+}
 
-	// vecCache, when set, is the shared decoded-vector cache level;
-	// vecKey identifies this object in its keyspace.
-	vecCache VectorCache
-	vecKey   string
+// Fetcher returns the reader's byte source.
+func (r *Reader) Fetcher() Fetcher { return r.fetch }
+
+// WithFetcher returns a view of r that reads bytes through f while
+// sharing the decoded manifest, meta, memoized index segments,
+// retained accounting, and vector-cache binding. The query path uses
+// it to bind a caller's context to a cached reader for one query: the
+// expensive decoded state is shared across queries, the byte source —
+// where cancellation must bite — is per-call.
+func (r *Reader) WithFetcher(f Fetcher) *Reader {
+	return &Reader{
+		fetch:    f,
+		Manifest: r.Manifest,
+		Meta:     r.Meta,
+		shared:   r.shared,
+		vecCache: r.vecCache,
+		vecKey:   r.vecKey,
+	}
 }
 
 // VectorCache is the decoded-vector cache level consulted by
@@ -106,7 +135,7 @@ func (r *Reader) SetVectorCache(c VectorCache, object string) {
 // RetainedBytes reports the approximate memory the reader retains:
 // manifest, decoded meta, and memoized index segments. It grows as
 // indexes are loaded, so long-lived holders should re-poll.
-func (r *Reader) RetainedBytes() int64 { return r.retained.Load() }
+func (r *Reader) RetainedBytes() int64 { return r.shared.retained.Load() }
 
 // OpenReader reads the manifest (via the leading tar header) and the
 // meta member.
@@ -127,7 +156,7 @@ func OpenReader(f Fetcher) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Reader{fetch: f, Manifest: man}
+	r := &Reader{fetch: f, Manifest: man, shared: &readerShared{}}
 	metaRaw, err := r.ReadMember(MemberMeta)
 	if err != nil {
 		return nil, err
@@ -136,7 +165,7 @@ func OpenReader(f Fetcher) (*Reader, error) {
 		return nil, err
 	}
 	const readerOverhead = 512 // structs, maps, slice headers
-	r.retained.Store(msize + int64(len(metaRaw)) + readerOverhead)
+	r.shared.retained.Store(msize + int64(len(metaRaw)) + readerOverhead)
 	return r, nil
 }
 
@@ -161,12 +190,12 @@ func (r *Reader) InvertedIndex(col int) (*inverted.Index, error) {
 	if r.Meta.Columns[col].Index != schema.IndexInverted {
 		return nil, fmt.Errorf("logblock: column %d has no inverted index", col)
 	}
-	r.mu.Lock()
-	if ix, ok := r.invCache[col]; ok {
-		r.mu.Unlock()
+	r.shared.mu.Lock()
+	if ix, ok := r.shared.invCache[col]; ok {
+		r.shared.mu.Unlock()
 		return ix, nil
 	}
-	r.mu.Unlock()
+	r.shared.mu.Unlock()
 	raw, err := r.ReadMember(IndexMember(col))
 	if err != nil {
 		return nil, err
@@ -175,15 +204,15 @@ func (r *Reader) InvertedIndex(col int) (*inverted.Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	if r.invCache == nil {
-		r.invCache = make(map[int]*inverted.Index)
+	r.shared.mu.Lock()
+	if r.shared.invCache == nil {
+		r.shared.invCache = make(map[int]*inverted.Index)
 	}
-	if _, dup := r.invCache[col]; !dup {
-		r.retained.Add(int64(len(raw)))
+	if _, dup := r.shared.invCache[col]; !dup {
+		r.shared.retained.Add(int64(len(raw)))
 	}
-	r.invCache[col] = ix
-	r.mu.Unlock()
+	r.shared.invCache[col] = ix
+	r.shared.mu.Unlock()
 	return ix, nil
 }
 
@@ -193,12 +222,12 @@ func (r *Reader) BKDIndex(col int) (*bkd.Tree, error) {
 	if r.Meta.Columns[col].Index != schema.IndexBKD {
 		return nil, fmt.Errorf("logblock: column %d has no BKD index", col)
 	}
-	r.mu.Lock()
-	if t, ok := r.bkdCache[col]; ok {
-		r.mu.Unlock()
+	r.shared.mu.Lock()
+	if t, ok := r.shared.bkdCache[col]; ok {
+		r.shared.mu.Unlock()
 		return t, nil
 	}
-	r.mu.Unlock()
+	r.shared.mu.Unlock()
 	raw, err := r.ReadMember(IndexMember(col))
 	if err != nil {
 		return nil, err
@@ -207,15 +236,15 @@ func (r *Reader) BKDIndex(col int) (*bkd.Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	if r.bkdCache == nil {
-		r.bkdCache = make(map[int]*bkd.Tree)
+	r.shared.mu.Lock()
+	if r.shared.bkdCache == nil {
+		r.shared.bkdCache = make(map[int]*bkd.Tree)
 	}
-	if _, dup := r.bkdCache[col]; !dup {
-		r.retained.Add(int64(len(raw)))
+	if _, dup := r.shared.bkdCache[col]; !dup {
+		r.shared.retained.Add(int64(len(raw)))
 	}
-	r.bkdCache[col] = t
-	r.mu.Unlock()
+	r.shared.bkdCache[col] = t
+	r.shared.mu.Unlock()
 	return t, nil
 }
 

@@ -1,0 +1,100 @@
+package oss
+
+import (
+	"context"
+	"time"
+)
+
+// ContextStore is the optional context-aware read surface of a Store.
+// Query-path reads (Get/GetRange/Head) thread the caller's context so
+// deadlines and cancellation actually stop in-flight storage work —
+// stalled stores, injected latency, retry backoff. Write-side
+// operations stay context-free: uploads are driven by background jobs
+// (archiver, shipper) whose lifecycles are not tied to one client call.
+type ContextStore interface {
+	GetContext(ctx context.Context, key string) ([]byte, error)
+	GetRangeContext(ctx context.Context, key string, off, size int64) ([]byte, error)
+	HeadContext(ctx context.Context, key string) (ObjectInfo, error)
+}
+
+// GetContext reads key under ctx. The context is checked before the
+// store is touched — an already-expired deadline returns immediately
+// without issuing a storage operation — and is forwarded to stores
+// that implement ContextStore; plain stores degrade to an uncancellable
+// Get (in-memory stores return fast anyway).
+func GetContext(ctx context.Context, s Store, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cs, ok := s.(ContextStore); ok {
+		return cs.GetContext(ctx, key)
+	}
+	return s.Get(key)
+}
+
+// GetRangeContext is GetContext for ranged reads.
+func GetRangeContext(ctx context.Context, s Store, key string, off, size int64) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cs, ok := s.(ContextStore); ok {
+		return cs.GetRangeContext(ctx, key, off, size)
+	}
+	return s.GetRange(key, off, size)
+}
+
+// HeadContext is GetContext for metadata probes.
+func HeadContext(ctx context.Context, s Store, key string) (ObjectInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return ObjectInfo{}, err
+	}
+	if cs, ok := s.(ContextStore); ok {
+		return cs.HeadContext(ctx, key)
+	}
+	return s.Head(key)
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first,
+// returning the context error in the latter case. Injected-latency and
+// stall simulations use it so a caller's deadline bounds even a
+// "stuck" store.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// GetContext implements ContextStore: counting wrappers forward the
+// context so a counted chain stays cancellable.
+func (s *CountingStore) GetContext(ctx context.Context, key string) ([]byte, error) {
+	s.stats.Gets.Inc()
+	data, err := GetContext(ctx, s.inner, key)
+	s.stats.BytesOut.Add(int64(len(data)))
+	return data, err
+}
+
+// GetRangeContext implements ContextStore.
+func (s *CountingStore) GetRangeContext(ctx context.Context, key string, off, size int64) ([]byte, error) {
+	s.stats.RangeGets.Inc()
+	data, err := GetRangeContext(ctx, s.inner, key, off, size)
+	s.stats.BytesOut.Add(int64(len(data)))
+	return data, err
+}
+
+// HeadContext implements ContextStore.
+func (s *CountingStore) HeadContext(ctx context.Context, key string) (ObjectInfo, error) {
+	s.stats.Heads.Inc()
+	return HeadContext(ctx, s.inner, key)
+}

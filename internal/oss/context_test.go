@@ -1,0 +1,130 @@
+package oss
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestGetContextExpiredDeadline proves an already-dead context returns
+// immediately without touching the store — the guarantee the broker
+// relies on for queries issued past their deadline.
+func TestGetContextExpiredDeadline(t *testing.T) {
+	mem := NewMemStore()
+	if err := mem.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	counting := NewCountingStore(mem, &stats)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GetContext(ctx, counting, "k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GetContext on canceled ctx = %v, want context.Canceled", err)
+	}
+	if got := stats.Gets.Value(); got != 0 {
+		t.Fatalf("store saw %d Gets through a dead context, want 0", got)
+	}
+	if _, err := GetRangeContext(ctx, counting, "k", 0, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GetRangeContext on canceled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := HeadContext(ctx, counting, "k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("HeadContext on canceled ctx = %v, want context.Canceled", err)
+	}
+	if n := stats.RangeGets.Value() + stats.Heads.Value(); n != 0 {
+		t.Fatalf("store saw %d reads through a dead context, want 0", n)
+	}
+}
+
+// TestFlakyStallRespectsDeadline: a stalled Get is bounded by the
+// caller's deadline instead of sleeping the full stall out.
+func TestFlakyStallRespectsDeadline(t *testing.T) {
+	mem := NewMemStore()
+	if err := mem.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFlakyStore(mem, 0, 0, 1)
+	fs.StallNextGets(1, 30*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := fs.GetContext(ctx, "k")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled Get = %v, want DeadlineExceeded", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("stalled Get took %v; deadline did not bound the stall", took)
+	}
+	if fs.InjectedStalls() != 1 {
+		t.Fatalf("InjectedStalls = %d, want 1", fs.InjectedStalls())
+	}
+	// The stall budget is spent: the next read is fast and succeeds.
+	if _, err := fs.Get("k"); err != nil {
+		t.Fatalf("post-stall Get: %v", err)
+	}
+}
+
+// TestFlakyStallBudget: exactly n reads stall, then reads heal.
+func TestFlakyStallBudget(t *testing.T) {
+	mem := NewMemStore()
+	if err := mem.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFlakyStore(mem, 0, 0, 1)
+	fs.StallNextGets(2, time.Millisecond)
+	for i := 0; i < 4; i++ {
+		if _, err := fs.Get("k"); err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+	}
+	if fs.InjectedStalls() != 2 {
+		t.Fatalf("InjectedStalls = %d, want 2", fs.InjectedStalls())
+	}
+}
+
+// TestFlakyTailLatencySeeded: the tail-latency draw is deterministic
+// for a fixed seed and only delays, never fails.
+func TestFlakyTailLatencySeeded(t *testing.T) {
+	count := func(seed int64) int64 {
+		mem := NewMemStore()
+		if err := mem.Put("k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		fs := NewFlakyStore(mem, 0, 0, seed)
+		fs.SetTailLatency(0.5, time.Microsecond)
+		for i := 0; i < 64; i++ {
+			if _, err := fs.Get("k"); err != nil {
+				t.Fatalf("get %d: %v", i, err)
+			}
+		}
+		return fs.InjectedStalls()
+	}
+	a, b := count(7), count(7)
+	if a != b {
+		t.Fatalf("same seed drew different tails: %d vs %d", a, b)
+	}
+	if a == 0 || a == 64 {
+		t.Fatalf("tail draws = %d of 64; want a nontrivial fraction", a)
+	}
+}
+
+// TestRetryingStoreContextCancel: cancellation aborts the retry
+// schedule mid-backoff instead of burning all attempts.
+func TestRetryingStoreContextCancel(t *testing.T) {
+	mem := NewMemStore()
+	fs := NewFlakyStore(mem, 0, 1.0, 1) // all reads fail
+	rs := WithDefaultRetry(fs)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := rs.GetContext(ctx, "missing")
+	if err == nil {
+		t.Fatal("GetContext succeeded against an always-failing store")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("GetContext = %v, want DeadlineExceeded in chain", err)
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("retry schedule ran %v past its context", took)
+	}
+}

@@ -1,6 +1,7 @@
 package oss
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -40,7 +41,12 @@ type FlakyStore struct {
 	partialN   int
 	partialCut float64
 	latency    time.Duration
+	stallNGet  int
+	stallGet   time.Duration
+	tailProb   float64
+	tailMax    time.Duration
 	failures   Stats
+	stalls     int64
 }
 
 // NewFlakyStore wraps inner with independent failure probabilities for
@@ -123,11 +129,45 @@ func (s *FlakyStore) FailNextDeletes(n int) {
 
 // SetLatency injects a fixed delay before every operation (both the
 // failing and the succeeding ones), emulating a throttled store that is
-// slow as well as flaky.
+// slow as well as flaky. The delay respects the caller's context on the
+// context-aware entry points: a deadline bounds even a slow store.
 func (s *FlakyStore) SetLatency(d time.Duration) {
 	s.mu.Lock()
 	s.latency = d
 	s.mu.Unlock()
+}
+
+// StallNextGets makes the next n read operations (Get/GetRange/Head/
+// List) stall for d before proceeding normally — the gray-failure mode
+// of a store that is *slow*, not down: no error is returned, the bytes
+// eventually arrive, and only a caller deadline bounds the wait. The
+// stall budget is consumed per operation; after n operations reads
+// return to their configured baseline.
+func (s *FlakyStore) StallNextGets(n int, d time.Duration) {
+	s.mu.Lock()
+	s.stallNGet = n
+	s.stallGet = d
+	s.mu.Unlock()
+}
+
+// SetTailLatency gives each read operation probability prob of drawing
+// an extra delay from a seeded right-skewed distribution in (0, max]
+// (the square of a uniform variate, so most draws are small and a few
+// approach max) — the tail-latency profile of a real object store
+// under multi-tenant contention. Zero prob disables the mode.
+func (s *FlakyStore) SetTailLatency(prob float64, max time.Duration) {
+	s.mu.Lock()
+	s.tailProb = prob
+	s.tailMax = max
+	s.mu.Unlock()
+}
+
+// InjectedStalls reports how many read operations were stalled or
+// tail-delayed.
+func (s *FlakyStore) InjectedStalls() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stalls
 }
 
 // InjectedFailures reports how many operations were failed.
@@ -137,10 +177,11 @@ func (s *FlakyStore) InjectedFailures() int64 {
 }
 
 // rollPut decides one write's fate: the deterministic budget first,
-// then the probabilistic roll. It also applies injected latency.
-func (s *FlakyStore) rollPut() error {
+// then the probabilistic roll. The returned delay is the injected
+// latency the caller must serve (context-aware) before proceeding.
+func (s *FlakyStore) rollPut() (time.Duration, error) {
 	s.mu.Lock()
-	latency := s.latency
+	delay := s.latency
 	var err error
 	switch {
 	case s.failNPut > 0:
@@ -150,19 +191,28 @@ func (s *FlakyStore) rollPut() error {
 		err = ErrInjected
 	}
 	s.mu.Unlock()
-	if latency > 0 {
-		time.Sleep(latency)
-	}
 	if err != nil {
 		s.failures.Puts.Inc()
 	}
-	return err
+	return delay, err
 }
 
-// rollGet is rollPut for read operations.
-func (s *FlakyStore) rollGet() error {
+// rollGet is rollPut for read operations, plus the gray-failure delay
+// modes: a per-op stall budget and the seeded tail-latency draw stack
+// on top of the global baseline latency.
+func (s *FlakyStore) rollGet() (time.Duration, error) {
 	s.mu.Lock()
-	latency := s.latency
+	delay := s.latency
+	if s.stallNGet > 0 {
+		s.stallNGet--
+		delay += s.stallGet
+		s.stalls++
+	}
+	if s.tailProb > 0 && s.tailMax > 0 && s.rng.Float64() < s.tailProb {
+		u := s.rng.Float64()
+		delay += time.Duration(u * u * float64(s.tailMax))
+		s.stalls++
+	}
 	var err error
 	switch {
 	case s.failNGet > 0:
@@ -172,19 +222,16 @@ func (s *FlakyStore) rollGet() error {
 		err = ErrInjected
 	}
 	s.mu.Unlock()
-	if latency > 0 {
-		time.Sleep(latency)
-	}
 	if err != nil {
 		s.failures.Gets.Inc()
 	}
-	return err
+	return delay, err
 }
 
 // rollList decides a List call's fate: its own deterministic budget and
 // rate first, then the generic read roll (List counted as a read keeps
 // the pre-existing failGet semantics).
-func (s *FlakyStore) rollList() error {
+func (s *FlakyStore) rollList() (time.Duration, error) {
 	s.mu.Lock()
 	var err error
 	switch {
@@ -197,15 +244,15 @@ func (s *FlakyStore) rollList() error {
 	s.mu.Unlock()
 	if err != nil {
 		s.failures.Lists.Inc()
-		return err
+		return 0, err
 	}
 	return s.rollGet()
 }
 
 // rollDelete decides a Delete call's fate.
-func (s *FlakyStore) rollDelete() error {
+func (s *FlakyStore) rollDelete() (time.Duration, error) {
 	s.mu.Lock()
-	latency := s.latency
+	delay := s.latency
 	var err error
 	switch {
 	case s.failNDel > 0:
@@ -215,13 +262,10 @@ func (s *FlakyStore) rollDelete() error {
 		err = ErrInjected
 	}
 	s.mu.Unlock()
-	if latency > 0 {
-		time.Sleep(latency)
-	}
 	if err != nil {
 		s.failures.Deletes.Inc()
 	}
-	return err
+	return delay, err
 }
 
 // rollPartial consumes one unit of the torn-write budget and returns
@@ -245,7 +289,11 @@ func (s *FlakyStore) rollPartial(n int) (int, bool) {
 
 // Put implements Store.
 func (s *FlakyStore) Put(key string, data []byte) error {
-	if err := s.rollPut(); err != nil {
+	delay, err := s.rollPut()
+	if serr := sleepCtx(context.Background(), delay); serr != nil {
+		return serr
+	}
+	if err != nil {
 		return err
 	}
 	if cut, torn := s.rollPartial(len(data)); torn {
@@ -259,31 +307,64 @@ func (s *FlakyStore) Put(key string, data []byte) error {
 
 // Get implements Store.
 func (s *FlakyStore) Get(key string) ([]byte, error) {
-	if err := s.rollGet(); err != nil {
+	return s.GetContext(context.Background(), key)
+}
+
+// GetContext implements ContextStore: injected stalls and latency are
+// bounded by the caller's deadline, and the inner read is forwarded
+// with the context.
+func (s *FlakyStore) GetContext(ctx context.Context, key string) ([]byte, error) {
+	delay, err := s.rollGet()
+	if serr := sleepCtx(ctx, delay); serr != nil {
+		return nil, serr
+	}
+	if err != nil {
 		return nil, err
 	}
-	return s.inner.Get(key)
+	return GetContext(ctx, s.inner, key)
 }
 
 // GetRange implements Store.
 func (s *FlakyStore) GetRange(key string, off, size int64) ([]byte, error) {
-	if err := s.rollGet(); err != nil {
+	return s.GetRangeContext(context.Background(), key, off, size)
+}
+
+// GetRangeContext implements ContextStore.
+func (s *FlakyStore) GetRangeContext(ctx context.Context, key string, off, size int64) ([]byte, error) {
+	delay, err := s.rollGet()
+	if serr := sleepCtx(ctx, delay); serr != nil {
+		return nil, serr
+	}
+	if err != nil {
 		return nil, err
 	}
-	return s.inner.GetRange(key, off, size)
+	return GetRangeContext(ctx, s.inner, key, off, size)
 }
 
 // Head implements Store.
 func (s *FlakyStore) Head(key string) (ObjectInfo, error) {
-	if err := s.rollGet(); err != nil {
+	return s.HeadContext(context.Background(), key)
+}
+
+// HeadContext implements ContextStore.
+func (s *FlakyStore) HeadContext(ctx context.Context, key string) (ObjectInfo, error) {
+	delay, err := s.rollGet()
+	if serr := sleepCtx(ctx, delay); serr != nil {
+		return ObjectInfo{}, serr
+	}
+	if err != nil {
 		return ObjectInfo{}, err
 	}
-	return s.inner.Head(key)
+	return HeadContext(ctx, s.inner, key)
 }
 
 // List implements Store.
 func (s *FlakyStore) List(prefix string) ([]ObjectInfo, error) {
-	if err := s.rollList(); err != nil {
+	delay, err := s.rollList()
+	if serr := sleepCtx(context.Background(), delay); serr != nil {
+		return nil, serr
+	}
+	if err != nil {
 		return nil, err
 	}
 	return s.inner.List(prefix)
@@ -291,7 +372,11 @@ func (s *FlakyStore) List(prefix string) ([]ObjectInfo, error) {
 
 // Delete implements Store.
 func (s *FlakyStore) Delete(key string) error {
-	if err := s.rollDelete(); err != nil {
+	delay, err := s.rollDelete()
+	if serr := sleepCtx(context.Background(), delay); serr != nil {
+		return serr
+	}
+	if err != nil {
 		return err
 	}
 	return s.inner.Delete(key)

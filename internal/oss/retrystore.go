@@ -90,11 +90,19 @@ func (s *RetryingStore) RetryStats() (attempts, retries, failures int64) {
 // attempt fails fast with retry.ErrOpen (transient), so the schedule
 // keeps backing off until the cooldown admits a probe.
 func (s *RetryingStore) do(op func() error) error {
-	return retry.Do(context.Background(), s.policy, func(context.Context) error {
+	return s.doCtx(context.Background(), func(context.Context) error { return op() })
+}
+
+// doCtx is do with a caller context: cancellation aborts backoff
+// sleeps between attempts (retry.Do checks ctx before each one) and
+// the per-attempt context reaches the operation so context-aware inner
+// stores stop in-flight work too.
+func (s *RetryingStore) doCtx(ctx context.Context, op func(context.Context) error) error {
+	return retry.Do(ctx, s.policy, func(actx context.Context) error {
 		if !s.breaker.Allow() {
 			return retry.ErrOpen
 		}
-		err := op()
+		err := op(actx)
 		if err == nil {
 			s.breaker.Success()
 			return nil
@@ -117,10 +125,16 @@ func (s *RetryingStore) Put(key string, data []byte) error {
 
 // Get implements Store.
 func (s *RetryingStore) Get(key string) ([]byte, error) {
+	return s.GetContext(context.Background(), key)
+}
+
+// GetContext implements ContextStore: the caller's deadline bounds the
+// whole retry schedule, not just one attempt.
+func (s *RetryingStore) GetContext(ctx context.Context, key string) ([]byte, error) {
 	var out []byte
-	err := s.do(func() error {
+	err := s.doCtx(ctx, func(actx context.Context) error {
 		var e error
-		out, e = s.inner.Get(key)
+		out, e = GetContext(actx, s.inner, key)
 		return e
 	})
 	if err != nil {
@@ -131,10 +145,15 @@ func (s *RetryingStore) Get(key string) ([]byte, error) {
 
 // GetRange implements Store.
 func (s *RetryingStore) GetRange(key string, off, size int64) ([]byte, error) {
+	return s.GetRangeContext(context.Background(), key, off, size)
+}
+
+// GetRangeContext implements ContextStore.
+func (s *RetryingStore) GetRangeContext(ctx context.Context, key string, off, size int64) ([]byte, error) {
 	var out []byte
-	err := s.do(func() error {
+	err := s.doCtx(ctx, func(actx context.Context) error {
 		var e error
-		out, e = s.inner.GetRange(key, off, size)
+		out, e = GetRangeContext(actx, s.inner, key, off, size)
 		return e
 	})
 	if err != nil {
@@ -145,10 +164,15 @@ func (s *RetryingStore) GetRange(key string, off, size int64) ([]byte, error) {
 
 // Head implements Store.
 func (s *RetryingStore) Head(key string) (ObjectInfo, error) {
+	return s.HeadContext(context.Background(), key)
+}
+
+// HeadContext implements ContextStore.
+func (s *RetryingStore) HeadContext(ctx context.Context, key string) (ObjectInfo, error) {
 	var out ObjectInfo
-	err := s.do(func() error {
+	err := s.doCtx(ctx, func(actx context.Context) error {
 		var e error
-		out, e = s.inner.Head(key)
+		out, e = HeadContext(actx, s.inner, key)
 		return e
 	})
 	if err != nil {

@@ -1,6 +1,8 @@
 package prefetch
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -17,7 +19,8 @@ const DefaultBlockSize = 128 << 10
 // cache, loading missing blocks from object storage — in parallel when
 // a prefetch pool is attached, serially otherwise (the paper's
 // "without parallel prefetch" baseline). It implements
-// logblock.Fetcher.
+// logblock.Fetcher; FetchCtx is the context-aware entry the query path
+// uses so a caller's deadline cancels in-flight storage reads.
 type CachedFetcher struct {
 	Store     oss.Store
 	Key       string
@@ -25,9 +28,9 @@ type CachedFetcher struct {
 	BlockSize int64             // 0 = DefaultBlockSize
 	Pool      *Service          // nil = serial block loading
 
-	sizeOnce sync.Once
-	size     int64
-	sizeErr  error
+	szMu   sync.Mutex
+	size   int64
+	sizeOk bool
 
 	mu       sync.Mutex
 	inflight map[int64]*call
@@ -39,17 +42,27 @@ type call struct {
 	err  error
 }
 
-// objectSize resolves (once) the object's total size.
-func (f *CachedFetcher) objectSize() (int64, error) {
-	f.sizeOnce.Do(func() {
-		info, err := f.Store.Head(f.Key)
-		if err != nil {
-			f.sizeErr = err
-			return
-		}
-		f.size = info.Size
-	})
-	return f.size, f.sizeErr
+// objectSize resolves the object's total size, memoizing only success:
+// a canceled or failed probe must not poison the fetcher for every
+// later query (the size is a property of the object, the failure a
+// property of one call). Concurrent first probes may race and issue
+// duplicate Heads; both store the same answer.
+func (f *CachedFetcher) objectSize(ctx context.Context) (int64, error) {
+	f.szMu.Lock()
+	if f.sizeOk {
+		sz := f.size
+		f.szMu.Unlock()
+		return sz, nil
+	}
+	f.szMu.Unlock()
+	info, err := oss.HeadContext(ctx, f.Store, f.Key)
+	if err != nil {
+		return 0, err
+	}
+	f.szMu.Lock()
+	f.size, f.sizeOk = info.Size, true
+	f.szMu.Unlock()
+	return info.Size, nil
 }
 
 func (f *CachedFetcher) blockSize() int64 {
@@ -63,43 +76,65 @@ func (f *CachedFetcher) blockKey(bi int64) string {
 	return fmt.Sprintf("%s#%d#%d", f.Key, f.blockSize(), bi)
 }
 
-// loadBlock returns block bi, via cache, merged in-flight fetch, or a
-// fresh ranged read.
-func (f *CachedFetcher) loadBlock(bi int64) ([]byte, error) {
-	key := f.blockKey(bi)
-	if f.Cache != nil {
-		if data, ok := f.Cache.Get(key); ok {
-			return data, nil
-		}
-	}
-
-	f.mu.Lock()
-	if f.inflight == nil {
-		f.inflight = make(map[int64]*call)
-	}
-	if c, ok := f.inflight[bi]; ok {
-		// Another goroutine is already loading this block: merge.
-		f.mu.Unlock()
-		<-c.done
-		return c.data, c.err
-	}
-	c := &call{done: make(chan struct{})}
-	f.inflight[bi] = c
-	f.mu.Unlock()
-
-	c.data, c.err = f.fetchBlock(bi)
-	if c.err == nil && f.Cache != nil {
-		f.Cache.Put(key, c.data)
-	}
-	f.mu.Lock()
-	delete(f.inflight, bi)
-	f.mu.Unlock()
-	close(c.done)
-	return c.data, c.err
+// isCtxErr reports whether err is a context cancellation or deadline
+// (possibly wrapped by the retry layer).
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-func (f *CachedFetcher) fetchBlock(bi int64) ([]byte, error) {
-	total, err := f.objectSize()
+// loadBlock returns block bi, via cache, merged in-flight fetch, or a
+// fresh ranged read. The merge is context-aware on both sides: a
+// waiter stops waiting when its own context dies, and a waiter whose
+// leader was canceled (the leader's context error, not ours) retries
+// the load under its own context instead of failing a healthy query
+// with someone else's cancellation.
+func (f *CachedFetcher) loadBlock(ctx context.Context, bi int64) ([]byte, error) {
+	key := f.blockKey(bi)
+	for {
+		if f.Cache != nil {
+			if data, ok := f.Cache.Get(key); ok {
+				return data, nil
+			}
+		}
+
+		f.mu.Lock()
+		if f.inflight == nil {
+			f.inflight = make(map[int64]*call)
+		}
+		if c, ok := f.inflight[bi]; ok {
+			// Another goroutine is already loading this block: merge.
+			f.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if c.err == nil {
+				return c.data, nil
+			}
+			if isCtxErr(c.err) && ctx.Err() == nil {
+				continue // the leader died of its own deadline, not ours
+			}
+			return nil, c.err
+		}
+		c := &call{done: make(chan struct{})}
+		f.inflight[bi] = c
+		f.mu.Unlock()
+
+		c.data, c.err = f.fetchBlock(ctx, bi)
+		if c.err == nil && f.Cache != nil {
+			f.Cache.Put(key, c.data)
+		}
+		f.mu.Lock()
+		delete(f.inflight, bi)
+		f.mu.Unlock()
+		close(c.done)
+		return c.data, c.err
+	}
+}
+
+func (f *CachedFetcher) fetchBlock(ctx context.Context, bi int64) ([]byte, error) {
+	total, err := f.objectSize(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -112,19 +147,29 @@ func (f *CachedFetcher) fetchBlock(bi int64) ([]byte, error) {
 	if off+size > total {
 		size = total - off
 	}
-	return f.Store.GetRange(f.Key, off, size)
+	return oss.GetRangeContext(ctx, f.Store, f.Key, off, size)
 }
 
 // Fetch implements logblock.Fetcher: it returns size bytes at off,
 // assembling them from aligned cache blocks.
 func (f *CachedFetcher) Fetch(off, size int64) ([]byte, error) {
+	return f.FetchCtx(context.Background(), off, size)
+}
+
+// FetchCtx is Fetch bounded by ctx: an expired context returns before
+// any storage operation, and cancellation mid-assembly stops the
+// remaining block loads.
+func (f *CachedFetcher) FetchCtx(ctx context.Context, off, size int64) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if off < 0 || size < 0 {
 		return nil, fmt.Errorf("prefetch: negative range [%d, %d)", off, off+size)
 	}
 	if size == 0 {
 		return []byte{}, nil
 	}
-	total, err := f.objectSize()
+	total, err := f.objectSize(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +184,7 @@ func (f *CachedFetcher) Fetch(off, size int64) ([]byte, error) {
 	blocks := make([][]byte, last-first+1)
 	if f.Pool == nil || last == first {
 		for bi := first; bi <= last; bi++ {
-			data, err := f.loadBlock(bi)
+			data, err := f.loadBlock(ctx, bi)
 			if err != nil {
 				return nil, err
 			}
@@ -153,7 +198,7 @@ func (f *CachedFetcher) Fetch(off, size int64) ([]byte, error) {
 			wg.Add(1)
 			task := func() {
 				defer wg.Done()
-				blocks[bi-first], errs[bi-first] = f.loadBlock(bi)
+				blocks[bi-first], errs[bi-first] = f.loadBlock(ctx, bi)
 			}
 			if err := f.Pool.Submit(task); err != nil {
 				// Pool closed: fall back to loading inline.

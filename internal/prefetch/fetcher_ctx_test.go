@@ -1,0 +1,101 @@
+package prefetch
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"logstore/internal/oss"
+)
+
+// TestFetchCtxExpiredNoStoreTouch: a dead context returns before any
+// storage operation is issued.
+func TestFetchCtxExpiredNoStoreTouch(t *testing.T) {
+	mem := oss.NewMemStore()
+	if err := mem.Put("obj", bytes.Repeat([]byte{7}, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	var stats oss.Stats
+	f := &CachedFetcher{Store: oss.NewCountingStore(mem, &stats), Key: "obj"}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.FetchCtx(ctx, 0, 16); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FetchCtx = %v, want Canceled", err)
+	}
+	if n := stats.Heads.Value() + stats.RangeGets.Value() + stats.Gets.Value(); n != 0 {
+		t.Fatalf("dead context issued %d storage ops, want 0", n)
+	}
+}
+
+// TestFetchCtxSizeNotPoisoned: a canceled size probe does not poison
+// later fetches — the next caller with a live context succeeds.
+func TestFetchCtxSizeNotPoisoned(t *testing.T) {
+	mem := oss.NewMemStore()
+	payload := bytes.Repeat([]byte{3}, 2048)
+	if err := mem.Put("obj", payload); err != nil {
+		t.Fatal(err)
+	}
+	fs := oss.NewFlakyStore(mem, 0, 0, 1)
+	fs.StallNextGets(1, 10*time.Second) // the Head stalls
+	f := &CachedFetcher{Store: fs, Key: "obj"}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := f.FetchCtx(ctx, 0, 16); err == nil {
+		t.Fatal("stalled first fetch succeeded, want deadline error")
+	}
+	got, err := f.FetchCtx(context.Background(), 0, 16)
+	if err != nil {
+		t.Fatalf("fetch after canceled probe: %v", err)
+	}
+	if !bytes.Equal(got, payload[:16]) {
+		t.Fatalf("fetched %v, want %v", got, payload[:16])
+	}
+}
+
+// TestFetchCtxForeignCancelRetries: a waiter merged onto a leader whose
+// context is canceled retries under its own context and succeeds.
+func TestFetchCtxForeignCancelRetries(t *testing.T) {
+	mem := oss.NewMemStore()
+	payload := bytes.Repeat([]byte{9}, 256)
+	if err := mem.Put("obj", payload); err != nil {
+		t.Fatal(err)
+	}
+	fs := oss.NewFlakyStore(mem, 0, 0, 1)
+	f := &CachedFetcher{Store: fs, Key: "obj"}
+	// Resolve the size up front so the stall below lands on the block
+	// read, not the Head.
+	if _, err := f.FetchCtx(context.Background(), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leader: fetches an uncached block with a short deadline while the
+	// store stalls. Waiter: same block, patient context.
+	fs.StallNextGets(1, 10*time.Second)
+	leaderCtx, leaderCancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer leaderCancel()
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := f.loadBlock(leaderCtx, 0)
+		leaderErr <- err
+	}()
+	// Give the leader time to register as in-flight and hit the stall.
+	time.Sleep(10 * time.Millisecond)
+	waited := make(chan error, 1)
+	go func() {
+		_, err := f.loadBlock(context.Background(), 0)
+		waited <- err
+	}()
+	if err := <-leaderErr; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("leader = %v, want DeadlineExceeded", err)
+	}
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Fatalf("waiter inherited foreign cancellation: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("waiter never completed")
+	}
+}

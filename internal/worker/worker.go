@@ -8,6 +8,7 @@
 package worker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -146,6 +147,11 @@ type Shard struct {
 	// must be zero outside crash recovery.
 	frameFails atomic.Int64
 	staleSkips atomic.Int64
+	// applyDelay (ns), when nonzero, stalls the serving replica before
+	// each state-machine apply — the gray-failure injection for a
+	// lagging replica: commits keep acking, the apply queue backs up,
+	// and BFC (not memory growth) must absorb the lag.
+	applyDelay atomic.Int64
 }
 
 // raftGroup bundles the in-process replica set of one shard. Individual
@@ -208,6 +214,19 @@ func (g *raftGroup) kill(id raft.NodeID) error {
 	}
 	n.Stop()
 	return nil
+}
+
+// snapshotNodes returns the currently live replica nodes.
+func (g *raftGroup) snapshotNodes() []*raft.Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*raft.Node, 0, len(g.nodes))
+	for i, n := range g.nodes {
+		if !g.stopped[i] {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 func (g *raftGroup) stop() {
@@ -593,6 +612,12 @@ func (w *Worker) startReplicaLocked(sh *Shard, g *raftGroup, id raft.NodeID) err
 		// only after every sub landed, so WAL replay after a crash
 		// re-presents a partially-applied group.
 		sm = raft.StateMachineFunc(func(index uint64, data []byte) {
+			if d := sh.applyDelay.Load(); d > 0 {
+				// Injected apply lag sleeps before taking the apply
+				// lock: the backlog accumulates in the bounded apply
+				// queue, not behind a held mutex.
+				timeSleep(time.Duration(d))
+			}
 			sh.applyMu.Lock()
 			defer sh.applyMu.Unlock()
 			if index <= sh.applied.Load() {
@@ -774,6 +799,62 @@ func (w *Worker) AppendTrusted(shardID flow.ShardID, rows []schema.Row) error {
 	return w.appendValidated(sh, rows)
 }
 
+// AppendTrustedCtx is AppendTrusted with a fail-fast context check: a
+// batch whose deadline already expired is refused before it enters the
+// coalescer. An in-flight proposal is not aborted mid-commit — commit
+// outcomes must stay unambiguous — but the internal propose deadline
+// bounds how long that can take.
+func (w *Worker) AppendTrustedCtx(ctx context.Context, shardID flow.ShardID, rows []schema.Row) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return w.AppendTrusted(shardID, rows)
+}
+
+// SlowShardApply injects (or clears, d = 0) a delay before every
+// serving-replica apply of one shard — the gray-failure knob for a
+// replica that is alive but lagging.
+func (w *Worker) SlowShardApply(id flow.ShardID, d time.Duration) error {
+	sh, err := w.shard(id)
+	if err != nil {
+		return err
+	}
+	sh.applyDelay.Store(int64(d))
+	return nil
+}
+
+// MemoryFootprint approximates the worker's dynamic memory: raft
+// sync/apply queue payloads, unshipped WAL backlog, and the two cache
+// levels. The brownout gate asserts this stays bounded while faults
+// make every queue want to grow — BFC's promise is precisely that
+// degradation shows up as rejections, not as memory.
+func (w *Worker) MemoryFootprint() int64 {
+	var total int64
+	w.mu.RLock()
+	shards := make([]*Shard, 0, len(w.shards))
+	for _, sh := range w.shards {
+		shards = append(shards, sh)
+	}
+	w.mu.RUnlock()
+	for _, sh := range shards {
+		if sh.group != nil {
+			for _, n := range sh.group.snapshotNodes() {
+				if n == nil {
+					continue
+				}
+				st := n.Status()
+				total += st.SyncQueue.Bytes + st.ApplyQueue.Bytes
+			}
+		}
+		if sh.shipper != nil {
+			total += sh.shipper.Stats().UnshippedBytes
+		}
+	}
+	total += w.blockCache.MemoryUsed()
+	total += w.objectCache.Used()
+	return total
+}
+
 func (w *Worker) appendValidated(sh *Shard, rows []schema.Row) error {
 	if sh.group == nil {
 		return sh.rs.Append(rows...)
@@ -826,7 +907,7 @@ func (w *Worker) proposeGroup(sh *Shard, data []byte) error {
 				}
 				return nil
 			}
-			if err == raft.ErrBackpressure {
+			if errors.Is(err, raft.ErrBackpressure) {
 				return err
 			}
 			// ErrNotLeader: leadership moved mid-propose.
@@ -957,8 +1038,18 @@ func (w *Worker) Hydrations() int64 { return w.hydrations.Load() }
 // QueryRealtime executes a query over one shard's row store (the
 // not-yet-archived data), returning a partial result.
 func (w *Worker) QueryRealtime(shardID flow.ShardID, q *query.Query) (*query.Result, error) {
+	return w.QueryRealtimeCtx(context.Background(), shardID, q)
+}
+
+// QueryRealtimeCtx is QueryRealtime bounded by ctx. The scan is pure
+// memory work, so the context is checked at entry and every scanBatch
+// rows rather than per row.
+func (w *Worker) QueryRealtimeCtx(ctx context.Context, shardID flow.ShardID, q *query.Query) (*query.Result, error) {
 	if w.down.Load() {
 		return nil, ErrWorkerDown
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	sh, err := w.shard(shardID)
 	if err != nil {
@@ -974,7 +1065,15 @@ func (w *Worker) QueryRealtime(shardID flow.ShardID, q *query.Query) (*query.Res
 	if err != nil {
 		return nil, err
 	}
+	const scanBatch = 1024
+	scanned := 0
+	aborted := false
 	sh.rs.ScanTenant(tenant, minTS, maxTS, func(r schema.Row) bool {
+		scanned++
+		if scanned%scanBatch == 0 && ctx.Err() != nil {
+			aborted = true
+			return false
+		}
 		if !query.EvalCompiled(preds, r) {
 			return true
 		}
@@ -985,11 +1084,14 @@ func (w *Worker) QueryRealtime(shardID flow.ShardID, q *query.Query) (*query.Res
 		res.AddRow(q, projected)
 		return true
 	})
+	if aborted {
+		return nil, ctx.Err()
+	}
 	return res, nil
 }
 
 // fetcherFor builds the cached, prefetching fetcher for one object.
-func (w *Worker) fetcherFor(path string) logblock.Fetcher {
+func (w *Worker) fetcherFor(path string) *prefetch.CachedFetcher {
 	return &prefetch.CachedFetcher{
 		Store:     w.store,
 		Key:       path,
@@ -999,6 +1101,34 @@ func (w *Worker) fetcherFor(path string) logblock.Fetcher {
 	}
 }
 
+// ctxFetcher binds one query's context to a shared cached fetcher: the
+// cache, in-flight merge, and resolved object size live on the base
+// (shared across queries), while cancellation bites per call. It is
+// what lets a cached long-lived Reader serve a deadline-bounded query
+// without leaking that query's context into the cache.
+type ctxFetcher struct {
+	ctx  context.Context
+	base *prefetch.CachedFetcher
+}
+
+// Fetch implements logblock.Fetcher.
+func (c ctxFetcher) Fetch(off, size int64) ([]byte, error) {
+	return c.base.FetchCtx(c.ctx, off, size)
+}
+
+// bindCtx returns a view of r whose byte source is bounded by ctx. A
+// context that can never be canceled returns r unchanged (no
+// per-query allocation on the common background path).
+func bindCtx(ctx context.Context, r *logblock.Reader) *logblock.Reader {
+	if ctx.Done() == nil {
+		return r
+	}
+	if base, ok := r.Fetcher().(*prefetch.CachedFetcher); ok {
+		return r.WithFetcher(ctxFetcher{ctx: ctx, base: base})
+	}
+	return r
+}
+
 // openReader opens a LogBlock reader, consulting the object cache for
 // the parsed manifest+meta. Cached readers are charged their actual
 // retained bytes — and re-charged on every hit, since memoized index
@@ -1006,18 +1136,32 @@ func (w *Worker) fetcherFor(path string) logblock.Fetcher {
 // cache as its decoded-vector level, so match and materialize passes
 // (and repeated queries) decode each column block once.
 func (w *Worker) openReader(path string) (*logblock.Reader, error) {
+	return w.openReaderCtx(context.Background(), path)
+}
+
+// openReaderCtx is openReader returning a ctx-bound view: the cached
+// reader (shared decoded state, base fetcher) stays context-free in
+// the object cache; the returned view reads bytes under ctx.
+func (w *Worker) openReaderCtx(ctx context.Context, path string) (*logblock.Reader, error) {
 	key := "reader:" + path
 	if v, ok := w.objectCache.Get(key); ok {
 		r := v.(*logblock.Reader)
 		w.objectCache.Put(key, r, r.RetainedBytes())
-		return r, nil
+		return bindCtx(ctx, r), nil
 	}
-	r, err := logblock.OpenReader(w.fetcherFor(path))
+	base := w.fetcherFor(path)
+	var open logblock.Fetcher = base
+	if ctx.Done() != nil {
+		open = ctxFetcher{ctx: ctx, base: base}
+	}
+	r, err := logblock.OpenReader(open)
 	if err != nil {
 		return nil, err
 	}
 	r.SetVectorCache(w.objectCache, path)
-	w.objectCache.Put(key, r, r.RetainedBytes())
+	// Cache the context-free view; hand the caller the ctx-bound one.
+	cached := r.WithFetcher(base)
+	w.objectCache.Put(key, cached, cached.RetainedBytes())
 	return r, nil
 }
 
@@ -1028,13 +1172,28 @@ func (w *Worker) openReader(path string) (*logblock.Reader, error) {
 // Figure 10 pipeline); without one, loading is fully serial — the
 // "without parallel prefetch" baseline.
 func (w *Worker) QueryBlocks(paths []string, q *query.Query, opts query.ExecOptions) (*query.Result, error) {
+	return w.QueryBlocksCtx(context.Background(), paths, q, opts)
+}
+
+// QueryBlocksCtx is QueryBlocks bounded by ctx: an expired context
+// returns before any storage read, cancellation mid-scan stops issuing
+// new block scans and aborts the in-flight OSS reads (through the
+// ctx-bound fetchers), and every concurrency slot is released on the
+// way out — a canceled query must not strand capacity.
+func (w *Worker) QueryBlocksCtx(ctx context.Context, paths []string, q *query.Query, opts query.ExecOptions) (*query.Result, error) {
 	if w.down.Load() {
 		return nil, ErrWorkerDown
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	res := query.NewResult(q, w.sch)
 	if w.pool == nil || len(paths) <= 1 {
 		for _, path := range paths {
-			if err := w.queryOneBlock(path, q, opts, res, nil); err != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := w.queryOneBlock(ctx, path, q, opts, res, nil); err != nil {
 				return nil, err
 			}
 		}
@@ -1048,12 +1207,21 @@ func (w *Worker) QueryBlocks(paths []string, q *query.Query, opts query.ExecOpti
 	)
 	for _, path := range paths {
 		path := path
+		// Acquire the concurrency slot context-aware: a canceled query
+		// stops launching block scans instead of queueing behind the
+		// very congestion that made it miss its deadline.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+		}
+		if err := ctx.Err(); err != nil {
+			break
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer func() { <-sem; wg.Done() }()
 			part := query.NewResult(q, w.sch)
-			err := w.queryOneBlock(path, q, opts, part, w.pool)
+			err := w.queryOneBlock(ctx, path, q, opts, part, w.pool)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -1064,14 +1232,17 @@ func (w *Worker) QueryBlocks(paths []string, q *query.Query, opts query.ExecOpti
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-func (w *Worker) queryOneBlock(path string, q *query.Query, opts query.ExecOptions, res *query.Result, pool *prefetch.Service) error {
-	r, err := w.openReader(path)
+func (w *Worker) queryOneBlock(ctx context.Context, path string, q *query.Query, opts query.ExecOptions, res *query.Result, pool *prefetch.Service) error {
+	r, err := w.openReaderCtx(ctx, path)
 	if err != nil {
 		return fmt.Errorf("worker %d: open %s: %w", w.cfg.ID, path, err)
 	}

@@ -21,6 +21,7 @@
 package logstore
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -28,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"logstore/internal/backpressure"
 	"logstore/internal/broker"
 	"logstore/internal/builder"
 	"logstore/internal/controller"
@@ -74,7 +76,13 @@ const (
 	WorkerUp       = flow.WorkerUp
 	WorkerDraining = flow.WorkerDraining
 	WorkerDead     = flow.WorkerDead
+	WorkerSlow     = flow.WorkerSlow
 )
+
+// ErrOverloaded is the typed admission-shed error; errors.As against
+// *ErrOverloaded yields the tenant, the exhausted budget, and a
+// RetryAfter hint.
+type ErrOverloaded = backpressure.ErrOverloaded
 
 // Traffic-scheduling algorithm choices.
 const (
@@ -193,6 +201,31 @@ type Config struct {
 	// straggling worker's block set is speculatively re-dispatched to
 	// another worker after this delay (0 disables hedging).
 	HedgeDelay time.Duration
+	// AdmitTenantRowsPerSec / AdmitTenantBytesPerSec enable per-tenant
+	// admission control on the brokers: each tenant refills a rows/s
+	// and a bytes/s token bucket, and a batch that would overdraw
+	// either is shed with ErrOverloaded{RetryAfter} instead of queuing
+	// behind everyone else's work (0 = that budget unlimited; both 0
+	// with AdmitGlobalBytes 0 = admission off).
+	AdmitTenantRowsPerSec  float64
+	AdmitTenantBytesPerSec float64
+	// AdmitGlobalBytes caps in-flight append bytes across all tenants —
+	// the cluster-wide memory guard (0 = unlimited).
+	AdmitGlobalBytes int64
+	// AdmitBurstSeconds sizes bucket bursts in seconds of refill
+	// (0 = 1).
+	AdmitBurstSeconds float64
+	// SlowWorkerThreshold arms gray-failure detection: a worker whose
+	// sub-query latency EWMA exceeds it is flagged WorkerSlow, steered
+	// out of the primary read partition, and scales down the admission
+	// refill rate (0 disables).
+	SlowWorkerThreshold time.Duration
+	// WorkerStoreWrap, when set, wraps each worker's object-store view
+	// (the raw configured Store, pre-retry) — the chaos hook for
+	// injecting per-worker OSS faults (e.g. oss.NewFlakyStore stalls on
+	// one worker only). The cluster-level catalog/controller paths are
+	// not wrapped.
+	WorkerStoreWrap func(flow.WorkerID, oss.Store) oss.Store
 }
 
 func (c *Config) withDefaults() Config {
@@ -254,8 +287,9 @@ type Cluster struct {
 	nextShard  flow.ShardID
 	nextWorker flow.WorkerID
 
-	brokers []*broker.Broker
-	nextBrk atomic.Uint64
+	brokers   []*broker.Broker
+	nextBrk   atomic.Uint64
+	admission *backpressure.Admission // nil when admission is off
 
 	health *flow.HealthTracker
 	hbStop chan struct{}
@@ -340,6 +374,23 @@ func Open(cfg Config) (*Cluster, error) {
 	if cfg.DataSkipping != nil {
 		exec.DataSkipping = *cfg.DataSkipping
 	}
+	if cfg.SlowWorkerThreshold > 0 {
+		c.health.SetSlowThreshold(cfg.SlowWorkerThreshold)
+	}
+	if cfg.AdmitTenantRowsPerSec > 0 || cfg.AdmitTenantBytesPerSec > 0 || cfg.AdmitGlobalBytes > 0 {
+		// One admission layer shared by both brokers: the budgets are
+		// per tenant and per cluster, not per broker, so round-robin
+		// dispatch must not double them. SlowFraction couples it to the
+		// gray-failure detector: the more of the fleet is slow, the less
+		// the cluster admits.
+		c.admission = backpressure.NewAdmission(backpressure.AdmissionConfig{
+			TenantRowsPerSec:  cfg.AdmitTenantRowsPerSec,
+			TenantBytesPerSec: cfg.AdmitTenantBytesPerSec,
+			GlobalBytes:       cfg.AdmitGlobalBytes,
+			BurstSeconds:      cfg.AdmitBurstSeconds,
+			SlowFraction:      c.health.SlowFraction,
+		})
+	}
 	// Two brokers behind the round-robin "SLB".
 	for i := 0; i < 2; i++ {
 		r := flow.NewRouter(c.shardIDsLocked(), int64(i)+1)
@@ -348,6 +399,7 @@ func Open(cfg Config) (*Cluster, error) {
 			ID: i, Exec: exec, Seed: int64(i) + 100,
 			Health:     c.health,
 			HedgeDelay: cfg.HedgeDelay,
+			Admission:  c.admission,
 		}, c.sch, r, ctrl.Collector(), c.catalog, c)
 		if err != nil {
 			c.Close()
@@ -384,6 +436,11 @@ func (c *Cluster) heartbeatLoop() {
 			}
 			c.mu.RUnlock()
 			c.health.Tick()
+			if c.admission != nil {
+				// Tenant buckets idle for a minute are reclaimed; an
+				// unbounded tenant-id space must not grow the map forever.
+				c.admission.SweepIdle(time.Minute)
+			}
 		}
 	}
 }
@@ -440,6 +497,13 @@ func (c *Cluster) newWorkerLocked(id flow.WorkerID) (*worker.Worker, error) {
 			MaxBacklog: c.cfg.ShipMaxBacklog,
 		}
 	}
+	// Per-worker store view: the chaos hook wraps the raw configured
+	// store (worker.New adds its own retry layer on top, so injected
+	// faults sit under retries, exactly like a real flaky backend).
+	wstore := c.store
+	if c.cfg.WorkerStoreWrap != nil {
+		wstore = c.cfg.WorkerStoreWrap(id, c.cfg.Store)
+	}
 	w, err := worker.New(worker.Config{
 		ID:               id,
 		CapacityPerSec:   c.cfg.WorkerCapacityPerSec,
@@ -465,7 +529,7 @@ func (c *Cluster) newWorkerLocked(id flow.WorkerID) (*worker.Worker, error) {
 		CoalesceLinger:      c.cfg.CoalesceLinger,
 		CoalesceDisabled:    c.cfg.CoalesceDisabled,
 		WALShip:             walShip,
-	}, c.sch, c.store, c.catalog)
+	}, c.sch, wstore, c.catalog)
 	if err != nil {
 		return nil, err
 	}
@@ -553,6 +617,14 @@ func (c *Cluster) broker() *broker.Broker {
 // Under extreme load it returns a backpressure error; callers should
 // slow down and retry.
 func (c *Cluster) Append(rows ...Row) error {
+	return c.AppendContext(context.Background(), rows...)
+}
+
+// AppendContext is Append bounded by ctx (deadline or cancellation
+// stops routing and re-route retries) and subject to admission control
+// when configured: a shed batch returns *ErrOverloaded with a
+// RetryAfter hint and costs no raft work.
+func (c *Cluster) AppendContext(ctx context.Context, rows ...Row) error {
 	if c.closed.Load() {
 		return fmt.Errorf("logstore: cluster closed")
 	}
@@ -571,7 +643,7 @@ func (c *Cluster) Append(rows ...Row) error {
 	c.ctrl.Scheduler().EnsureTenants(tids)
 	*tidp = tids[:0]
 	tenantIDScratch.Put(tidp)
-	return c.broker().Append(rows)
+	return c.broker().AppendContext(ctx, rows)
 }
 
 // tenantIDScratch recycles the per-append tenant id list fed to
@@ -585,10 +657,19 @@ var tenantIDScratch = sync.Pool{New: func() any {
 // paper's SELECT template plus COUNT(*), MATCH, GROUP BY, ORDER BY,
 // LIMIT). Queries must pin a tenant with `tenant_id = N`.
 func (c *Cluster) Query(sql string) (*Result, error) {
+	return c.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query bounded by ctx: the deadline propagates through
+// the broker's scatter into every worker scan and down to the
+// object-storage reads, so an expired deadline returns immediately
+// without touching OSS, and cancellation mid-query frees the workers'
+// concurrency slots.
+func (c *Cluster) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	if c.closed.Load() {
 		return nil, fmt.Errorf("logstore: cluster closed")
 	}
-	return c.broker().Query(sql)
+	return c.broker().QueryContext(ctx, sql)
 }
 
 // SetRetention configures a tenant's data lifetime (0 = keep forever).
@@ -895,6 +976,37 @@ func (c *Cluster) shardWorker(s flow.ShardID) (*worker.Worker, error) {
 	return w, nil
 }
 
+// SlowShardApply injects (d > 0) or clears (d = 0) an apply-path delay
+// on one shard's serving replica: commits keep acking while the
+// serving state machine lags — the classic gray failure of an
+// overloaded but live node.
+func (c *Cluster) SlowShardApply(s flow.ShardID, d time.Duration) error {
+	w, err := c.shardWorker(s)
+	if err != nil {
+		return err
+	}
+	return w.SlowShardApply(s, d)
+}
+
+// MemoryProxy approximates the cluster's dynamic memory: every live
+// worker's queue and cache footprint plus the admission layer's
+// in-flight append bytes. Chaos gates assert it stays bounded while
+// faults are pushing every queue toward growth.
+func (c *Cluster) MemoryProxy() int64 {
+	var total int64
+	c.mu.RLock()
+	for _, w := range c.workers {
+		if w.Alive() {
+			total += w.MemoryFootprint()
+		}
+	}
+	c.mu.RUnlock()
+	if c.admission != nil {
+		total += c.admission.InflightBytes()
+	}
+	return total
+}
+
 // KillShardLeader stops the raft leader of one shard's replica group;
 // the survivors elect a new leader and appends resume without manual
 // intervention. Returns the killed replica id (restart it later with
@@ -960,6 +1072,13 @@ type RecoveryStats struct {
 	UnshippedBytes   int64 `json:"unshipped_bytes"`
 	UnshippedEntries int64 `json:"unshipped_entries"`
 	MaxLastShipAgeMS int64 `json:"max_last_ship_age_ms"`
+	// Graceful degradation: requests stopped by caller cancellation,
+	// requests cut short by an expired deadline, and batches shed by
+	// admission control (broker view / admission layer view).
+	Canceled        int64 `json:"canceled"`
+	DeadlineExpired int64 `json:"deadline_expired"`
+	Shed            int64 `json:"shed"`
+	Admitted        int64 `json:"admitted"`
 }
 
 // RecoveryStats returns the current failure-handling counters.
@@ -975,6 +1094,13 @@ func (c *Cluster) RecoveryStats() RecoveryStats {
 		s.Failovers += f
 		s.Hedges += h
 		s.Reroutes += r
+		canceled, expired, shed := b.DegradeStats()
+		s.Canceled += canceled
+		s.DeadlineExpired += expired
+		s.Shed += shed
+	}
+	if c.admission != nil {
+		s.Admitted, _ = c.admission.Stats()
 	}
 	c.mu.RLock()
 	for _, w := range c.workers {
